@@ -1,0 +1,79 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and
+asserts its qualitative *shape* (who wins, monotonicity, rough
+factors).  The scale preset is chosen with the ``REPRO_BENCH_PRESET``
+environment variable:
+
+* ``smoke``   — seconds; mechanics only, shapes asserted loosely.
+* ``bench``   — the default; one dataset at full parameter shape
+  (~15 minutes across the whole suite).
+* ``reduced`` — four datasets, more repetitions (about an hour).
+* ``full``    — the paper's grid (many hours).
+
+Each figure is executed exactly once per session (cached fixture);
+pytest-benchmark times the run via ``benchmark.pedantic`` with a single
+round, since the quantity of interest is the figure's content, not
+micro-timing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import BENCH, FULL, REDUCED, SMOKE
+
+_PRESETS = {"smoke": SMOKE, "bench": BENCH, "reduced": REDUCED, "full": FULL}
+
+
+def pytest_report_header(config):
+    name = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    return f"repro benchmark preset: {name} (set REPRO_BENCH_PRESET to change)"
+
+
+@pytest.fixture(scope="session")
+def preset_name() -> str:
+    name = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    if name not in _PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_PRESET={name!r}; choose from {sorted(_PRESETS)}"
+        )
+    return name
+
+
+@pytest.fixture(scope="session")
+def config(preset_name):
+    return _PRESETS[preset_name]
+
+
+@pytest.fixture(scope="session")
+def strict_shapes(preset_name) -> bool:
+    """Quantitative shape assertions only run at bench scale and above
+    (the smoke preset is too small for stable statistics)."""
+    return preset_name != "smoke"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing.
+
+    If the callable returns a :class:`~repro.experiments.FigureResult`,
+    its rows are also written to ``benchmarks/results/<name>.json`` so
+    a bench run leaves machine-readable artifacts behind (EXPERIMENTS.md
+    is compiled from them).
+    """
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _maybe_export(result)
+    return result
+
+
+def _maybe_export(result) -> None:
+    from repro.experiments import FigureResult, to_json
+
+    if not isinstance(result, FigureResult):
+        return
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    slug = result.name.lower().replace(" ", "_").replace(":", "")
+    to_json(result, os.path.join(out_dir, f"{slug}.json"))

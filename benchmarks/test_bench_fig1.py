@@ -1,0 +1,41 @@
+"""Figure 1 benchmark: convergence of the relative error beta.
+
+Paper claims (Sec. VI-B):
+
+1. both the average and maximum relative error shrink as L grows —
+   roughly halving when L doubles;
+2. the error at K = 100 exceeds the error at K = 50 (a bigger group
+   covers more of the selection samples, so the biased estimate is
+   more optimistic).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig1
+
+
+def test_fig1(benchmark, config, strict_shapes):
+    figure = run_once(benchmark, run_fig1, config, ks=(50, 100))
+    print()
+    print(figure.render())
+
+    lengths = sorted(config.fig1_lengths)
+    for dataset in config.datasets:
+        for k in (50, 100):
+            rows = figure.filtered(dataset=dataset, K=k)
+            if not rows:
+                continue
+            by_length = {row[2]: row for row in rows}
+            avgs = [by_length[length][3] for length in lengths]
+            # claim 1: the error at the largest L is far below the
+            # error at the smallest L
+            if strict_shapes:
+                assert abs(avgs[-1]) < max(abs(avgs[0]), 0.02) + 1e-9, (
+                    f"{dataset} K={k}: beta did not shrink: {avgs}"
+                )
+    if strict_shapes:
+        # claim 2: averaged over the grid, K=100 error >= K=50 error
+        avg_50 = [row[3] for row in figure.rows if row[1] == 50]
+        avg_100 = [row[3] for row in figure.rows if row[1] == 100]
+        if avg_50 and avg_100:
+            assert sum(avg_100) / len(avg_100) >= sum(avg_50) / len(avg_50) - 0.01

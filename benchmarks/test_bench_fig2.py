@@ -1,0 +1,38 @@
+"""Figure 2 benchmark: normalized GBC vs group size K (eps = 0.3).
+
+Paper claims (Sec. VI-C):
+
+1. the normalized GBC of every algorithm grows with K;
+2. HEDGE / CentRa / AdaAlg all land close to EXHAUST;
+3. AdaAlg — the cheapest — still reaches >= ~93% of EXHAUST.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2
+
+
+def test_fig2(benchmark, config, strict_shapes):
+    figure = run_once(benchmark, run_fig2, config, eps=0.3)
+    print()
+    print(figure.render())
+
+    for dataset in config.datasets:
+        rows = figure.filtered(dataset=dataset)
+        if len(rows) < 2:
+            continue
+        rows.sort(key=lambda row: row[1])  # by K
+        exhaust = [row[3] for row in rows]
+        # claim 1: EXHAUST's quality is non-decreasing in K (tiny
+        # sampling jitter tolerated)
+        for a, b in zip(exhaust, exhaust[1:]):
+            assert b >= a - 0.01
+
+    if strict_shapes:
+        # claims 2-3: AdaAlg within the paper's band of EXHAUST
+        for ratio in figure.column("ada_vs_exhaust"):
+            assert ratio >= 0.90, f"AdaAlg/EXHAUST ratio {ratio:.3f} below band"
+        for row in figure.rows:
+            _, _, _, exhaust_q, hedge_q, centra_q, _, _ = row
+            assert hedge_q >= 0.93 * exhaust_q
+            assert centra_q >= 0.93 * exhaust_q

@@ -1,0 +1,34 @@
+"""Figure 3 benchmark: normalized GBC vs error ratio eps (K = 100).
+
+Paper claims (Sec. VI-C):
+
+1. quality degrades (weakly) as eps grows — fewer samples, weaker
+   groups;
+2. even at the loosest eps, AdaAlg keeps >= ~89% of EXHAUST's quality;
+   at tight eps it reaches ~98%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark, config, strict_shapes):
+    k = max(config.ks)
+    figure = run_once(benchmark, run_fig3, config, k=k)
+    print()
+    print(figure.render())
+
+    if not strict_shapes:
+        assert figure.rows
+        return
+
+    for dataset in config.datasets:
+        rows = sorted(figure.filtered(dataset=dataset), key=lambda r: r[2])
+        ratios = [row[-1] for row in rows]
+        # claim 2: the paper's floor across the eps range
+        for eps, ratio in zip((row[2] for row in rows), ratios):
+            floor = 0.95 if eps <= 0.2 else 0.88
+            assert ratio >= floor, f"{dataset} eps={eps}: ratio {ratio:.3f}"
+        # claim 1 (weak form): tightest eps is at least as good as loosest
+        assert ratios[0] >= ratios[-1] - 0.03

@@ -1,0 +1,44 @@
+"""Figure 4 benchmark: number of samples vs group size K (eps = 0.3).
+
+Paper claims (Sec. VI-D):
+
+1. AdaAlg uses fewer samples than CentRa, which uses fewer than HEDGE;
+2. the CentRa/AdaAlg gap *widens* as K grows (paper: 2.5x at K=20 up
+   to 17x at K=100);
+3. AdaAlg's own count stays roughly flat in K (no K-dependence in its
+   schedule), unlike the baselines.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_fig4(benchmark, config, strict_shapes):
+    figure = run_once(benchmark, run_fig4, config, eps=0.3)
+    print()
+    print(figure.render())
+
+    for row in figure.rows:
+        _, _, _, hedge, centra, ada, ratio = row
+        # claim 1: strict ordering
+        assert ada < centra < hedge, row
+
+    if not strict_shapes:
+        return
+
+    for dataset in config.datasets:
+        rows = sorted(figure.filtered(dataset=dataset), key=lambda r: r[1])
+        if len(rows) < 2:
+            continue
+        ratios = [row[6] for row in rows]
+        # claim 2: the gap at the largest K exceeds the gap at the smallest
+        assert ratios[-1] > ratios[0], f"{dataset}: ratios {ratios}"
+        # paper band: >= 2x reduction at the largest K
+        assert ratios[-1] >= 2.0, f"{dataset}: final ratio {ratios[-1]:.2f}"
+        # claim 3: AdaAlg's count varies far less than CentRa's across K
+        ada_counts = [row[5] for row in rows]
+        centra_counts = [row[4] for row in rows]
+        ada_spread = max(ada_counts) / min(ada_counts)
+        centra_spread = max(centra_counts) / min(centra_counts)
+        assert ada_spread <= centra_spread + 1.0

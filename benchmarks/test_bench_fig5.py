@@ -1,0 +1,43 @@
+"""Figure 5 benchmark: number of samples vs eps (K in {20, 100}).
+
+Paper claims (Sec. VI-D):
+
+1. every algorithm's sample count decreases as eps grows;
+2. AdaAlg stays 2-18x below CentRa across the whole eps range.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, config, strict_shapes):
+    ks = (min(config.ks), max(config.ks))
+    figure = run_once(benchmark, run_fig5, config, ks=ks)
+    print()
+    print(figure.render())
+
+    for row in figure.rows:
+        _, _, _, hedge, centra, ada, _ = row
+        assert ada < centra < hedge, row
+
+    if not strict_shapes:
+        return
+
+    for dataset in config.datasets:
+        for k in ks:
+            rows = sorted(
+                (r for r in figure.filtered(dataset=dataset) if r[1] == k),
+                key=lambda r: r[2],
+            )
+            if len(rows) < 2:
+                continue
+            # claim 1: counts fall with eps for each algorithm
+            for column in (3, 4, 5):
+                counts = [row[column] for row in rows]
+                assert counts == sorted(counts, reverse=True), (
+                    f"{dataset} K={k} column {column}: {counts}"
+                )
+            # claim 2: the paper's reduction band
+            for row in rows:
+                assert row[6] >= 1.5, f"{dataset} K={k} eps={row[2]}: {row[6]:.2f}"

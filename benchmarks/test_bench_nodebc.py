@@ -1,0 +1,43 @@
+"""Node-BC approximation benchmark (the paper's Sec. II lineage).
+
+Not a paper figure — it validates the node-betweenness estimators that
+back the :class:`~repro.algorithms.heuristics.TopBetweenness` baseline:
+the RK fixed-size estimator and the adaptive (empirical-Bernstein)
+estimator must both honor their certified radius against exact
+Brandes, and the error must shrink with the sample budget.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import load_dataset
+from repro.nodebc import adaptive_betweenness, approx_betweenness
+from repro.paths import betweenness_centrality
+
+
+def test_nodebc_certified_accuracy(benchmark, config):
+    graph = load_dataset(config.datasets[0], config)
+    # exact Brandes on the full dataset is the dominant cost; subsample
+    nodes = min(graph.n, 600)
+    graph = graph.subgraph(range(nodes))
+
+    def run_all():
+        exact = betweenness_centrality(graph)
+        fixed = approx_betweenness(graph, eps=0.02, delta=0.1, seed=81)
+        adaptive = adaptive_betweenness(graph, eps=0.02, delta=0.1, seed=82)
+        return exact, fixed, adaptive
+
+    exact, fixed, adaptive = run_once(benchmark, run_all)
+    print()
+    for label, estimate in (("fixed-RK", fixed), ("adaptive", adaptive)):
+        worst = float(np.max(np.abs(estimate.values - exact)))
+        print(
+            f"{label:>9}: {estimate.num_samples} samples, certified radius "
+            f"{estimate.radius:,.0f}, worst observed error {worst:,.0f}"
+        )
+        assert worst <= estimate.radius + 1e-6
+
+    # both estimators agree on who the top nodes are
+    top_exact = set(np.argsort(exact)[::-1][:5].tolist())
+    top_fixed = set(fixed.top_k(5))
+    assert len(top_exact & top_fixed) >= 3

@@ -1,0 +1,25 @@
+"""Table I benchmark: materialize every dataset stand-in.
+
+Regenerates the paper's dataset inventory and checks the stand-ins
+preserve each network's directedness and a sane scale.
+"""
+
+from conftest import run_once
+
+from repro.datasets import get_spec
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, config):
+    table = run_once(benchmark, run_table1, config)
+    print()
+    print(table.render())
+
+    assert len(table.rows) == 10
+    for row in table.rows:
+        name, paper_v, paper_e, kind, standin_v, standin_e, giant_v, giant_e = row
+        spec = get_spec(name)
+        assert kind == ("directed" if spec.directed else "undirected")
+        assert standin_v <= paper_v
+        assert giant_v <= standin_v
+        assert giant_e >= giant_v - 1  # giant component is connected

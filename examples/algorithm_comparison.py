@@ -1,0 +1,71 @@
+"""Head-to-head comparison of all four algorithms on one network.
+
+Reproduces the core experimental story of the paper in miniature: on
+the same graph and budget K, compare
+
+* EXHAUST — the sampling yardstick (huge fixed budget),
+* HEDGE   — union-bound sampling (Mahmoody et al., KDD'16),
+* CentRa  — Rademacher-average sampling (Pellegrina, KDD'23),
+* AdaAlg  — the paper's adaptive algorithm,
+
+reporting solution quality (exact GBC), the number of sampled shortest
+paths, and the wall-clock time.  AdaAlg should land within a few
+percent of EXHAUST's quality while sampling several times fewer paths
+than CentRa (the paper reports 2-18x).
+
+Run with::
+
+    python examples/algorithm_comparison.py
+"""
+
+from repro import AdaAlg, CentRa, Exhaust, Hedge, datasets
+from repro.experiments.report import format_table
+from repro.paths import exact_gbc
+
+
+def main() -> None:
+    k, eps, gamma = 20, 0.3, 0.01
+    graph = datasets.load("Coauthor", seed=5)
+    pairs = graph.num_ordered_pairs
+    print(f"network: {graph.n} nodes, {graph.num_edges} edges; "
+          f"K={k}, eps={eps}, gamma={gamma}\n")
+
+    algorithms = [
+        Exhaust(num_samples=60_000, seed=31),
+        Hedge(eps=eps, gamma=gamma, seed=32),
+        CentRa(eps=eps, gamma=gamma, seed=33),
+        AdaAlg(eps=eps, gamma=gamma, seed=34),
+    ]
+
+    rows = []
+    qualities = {}
+    for algorithm in algorithms:
+        result = algorithm.run(graph, k)
+        quality = exact_gbc(graph, result.group)
+        qualities[result.algorithm] = quality
+        rows.append(
+            [
+                result.algorithm,
+                quality / pairs,
+                result.num_samples,
+                round(result.elapsed_seconds, 2),
+                result.converged,
+            ]
+        )
+
+    print(format_table(
+        ["algorithm", "normalized GBC", "samples", "seconds", "converged"], rows
+    ))
+
+    base = qualities["EXHAUST"]
+    ada = qualities["AdaAlg"]
+    print(f"\nAdaAlg quality vs EXHAUST : {ada / base:.1%}")
+    hedge_samples = rows[1][2]
+    centra_samples = rows[2][2]
+    ada_samples = rows[3][2]
+    print(f"samples: HEDGE/AdaAlg = {hedge_samples / ada_samples:.1f}x, "
+          f"CentRa/AdaAlg = {centra_samples / ada_samples:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Incremental network-monitor deployment on a directed network.
+
+Dolev et al. (2009) — cited by the paper — motivate GBC with network
+monitoring: traffic between hosts follows shortest routes, and a set of
+monitors should see as much traffic as possible.  Deployment is
+incremental: monitors are installed one at a time, and each new monitor
+should maximize the *marginal* traffic it adds.
+
+This example uses the directed Email-euAll stand-in and the exact Puzis
+successive algorithm (the paper's O(n^3) reference, feasible here
+because the stand-in is small) to deploy monitors one by one, printing
+the coverage curve — the classic diminishing-returns picture that makes
+greedy (1 - 1/e)-optimal.  It then shows that AdaAlg reaches nearly the
+same coverage from a few thousand samples instead of an all-pairs
+computation.
+
+Run with::
+
+    python examples/network_monitoring.py
+"""
+
+from repro import AdaAlg, PuzisGreedy, datasets
+from repro.graph import giant_component
+from repro.paths import exact_gbc
+
+
+def main() -> None:
+    k = 10
+    graph = datasets.load("Email-euAll", seed=1)
+    # keep the exact algorithm fast: restrict to a subsampled core
+    if graph.n > 1200:
+        core = sorted(
+            range(graph.n),
+            key=lambda v: graph.out_degree(v) + graph.in_degree(v),
+            reverse=True,
+        )[:1200]
+        graph, _ = giant_component(graph.subgraph(core))
+    pairs = graph.num_ordered_pairs
+    print(f"monitoring network: {graph.n} hosts, {graph.num_edges} directed links")
+
+    print("\nexact incremental deployment (Puzis successive algorithm):")
+    exact = PuzisGreedy().run(graph, k)
+    covered = 0.0
+    print(f"  {'monitor':>8}  {'host':>6}  {'marginal':>10}  {'total coverage':>15}")
+    for i, (host, gain) in enumerate(zip(exact.group, exact.diagnostics["gains"])):
+        covered += gain
+        print(f"  {i + 1:>8}  {host:>6}  {gain / pairs:>9.2%}  {covered / pairs:>14.2%}")
+
+    print("\nsampling-based deployment (AdaAlg):")
+    ada = AdaAlg(eps=0.3, gamma=0.01, seed=21).run(graph, k)
+    ada_coverage = exact_gbc(graph, ada.group) / pairs
+    print(f"  group   : {sorted(ada.group)}")
+    print(f"  coverage: {ada_coverage:.2%} "
+          f"(exact greedy reached {covered / pairs:.2%})")
+    print(f"  cost    : {ada.num_samples} sampled paths vs "
+          f"{graph.n}^2 all-pairs work for the exact algorithm")
+    ratio = ada_coverage / (covered / pairs)
+    print(f"  quality : {ratio:.1%} of the exact greedy deployment")
+
+
+if __name__ == "__main__":
+    main()

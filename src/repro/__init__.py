@@ -1,0 +1,72 @@
+"""repro — adaptive sampling for top-K group betweenness centrality.
+
+A complete, self-contained reproduction of *“An Adaptive Sampling
+Algorithm for the Top-K Group Betweenness Centrality”* (ICDE 2025):
+the AdaAlg algorithm, the HEDGE / CentRa / EXHAUST comparison
+algorithms, exact references (Brandes, Puzis greedy, brute force), the
+graph and sampling substrates they run on, and the experiment harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import AdaAlg, datasets
+>>> graph = datasets.load("GrQc", seed=7)
+>>> result = AdaAlg(eps=0.3, gamma=0.01, seed=7).run(graph, k=10)
+>>> len(result.group)
+10
+"""
+
+from . import bounds, coverage, datasets, experiments, graph, nodebc, paths
+from .algorithms import (
+    AdaAlg,
+    BruteForce,
+    CentRa,
+    Exhaust,
+    GBCAlgorithm,
+    GBCResult,
+    Hedge,
+    PuzisGreedy,
+)
+from .exceptions import (
+    AlgorithmError,
+    DatasetError,
+    GraphError,
+    ParameterError,
+    ReproError,
+)
+from .graph import CSRGraph, WeightedCSRGraph, from_edges, from_weighted_edges
+from .paths import PathSampler, betweenness_centrality, exact_gbc, normalized_gbc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AdaAlg",
+    "Hedge",
+    "CentRa",
+    "Exhaust",
+    "PuzisGreedy",
+    "BruteForce",
+    "GBCAlgorithm",
+    "GBCResult",
+    "CSRGraph",
+    "WeightedCSRGraph",
+    "from_edges",
+    "from_weighted_edges",
+    "PathSampler",
+    "betweenness_centrality",
+    "exact_gbc",
+    "normalized_gbc",
+    "ReproError",
+    "GraphError",
+    "ParameterError",
+    "AlgorithmError",
+    "DatasetError",
+    "graph",
+    "paths",
+    "coverage",
+    "bounds",
+    "datasets",
+    "experiments",
+    "nodebc",
+]

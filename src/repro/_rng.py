@@ -1,0 +1,36 @@
+"""Random-number-generator plumbing shared by the whole package.
+
+Every randomized component in :mod:`repro` accepts a ``seed`` argument
+that may be ``None`` (fresh OS entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all
+three into a `Generator`, and :func:`spawn` derives independent child
+generators so that parallel components never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None``, an ``int``, a ``SeedSequence``, or an
+    existing ``Generator`` (returned unchanged so that callers can share
+    a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses the generator's own bit stream to seed children, which keeps
+    the derivation reproducible for a seeded parent.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

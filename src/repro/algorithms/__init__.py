@@ -1,0 +1,28 @@
+"""Top-K GBC algorithms: AdaAlg (the paper), baselines, exact references."""
+
+from .adaalg import AdaAlg, AdaAlgIteration
+from .base import GBCAlgorithm, GBCResult, SamplingAlgorithm
+from .brute import BruteForce
+from .centra import CentRa
+from .exhaust import Exhaust
+from .hedge import Hedge
+from .heuristics import TopBetweenness, TopDegree
+from .puzis import PuzisGreedy
+from .yoshida import YoshidaSketch, yoshida_sample_size
+
+__all__ = [
+    "GBCAlgorithm",
+    "SamplingAlgorithm",
+    "GBCResult",
+    "AdaAlg",
+    "AdaAlgIteration",
+    "Hedge",
+    "CentRa",
+    "Exhaust",
+    "PuzisGreedy",
+    "YoshidaSketch",
+    "yoshida_sample_size",
+    "BruteForce",
+    "TopDegree",
+    "TopBetweenness",
+]

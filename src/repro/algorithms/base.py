@@ -1,0 +1,162 @@
+"""Common interface and result type for the top-K GBC algorithms.
+
+Every algorithm consumes a :class:`~repro.graph.csr.CSRGraph` and a
+group size ``K`` and produces a :class:`GBCResult`.  Sampling
+algorithms additionally report how many shortest paths they drew —
+the paper's headline comparison metric (Figs. 4–5).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import as_generator, spawn
+from ..coverage import CoverageInstance
+from ..exceptions import ParameterError
+from ..graph.csr import CSRGraph
+from ..paths.sampler import PathSample, PathSampler
+
+__all__ = ["GBCResult", "GBCAlgorithm", "SamplingAlgorithm"]
+
+
+@dataclass
+class GBCResult:
+    """Outcome of one top-K GBC computation.
+
+    Attributes
+    ----------
+    algorithm:
+        The producing algorithm's name (``"AdaAlg"``, ``"HEDGE"``, ...).
+    group:
+        Selected node ids (exactly ``K`` of them).
+    estimate:
+        The algorithm's estimate of ``B(group)`` — for sampling
+        algorithms the *biased* estimate from the selection samples
+        (Eq. 4); for exact algorithms the exact value.
+    estimate_unbiased:
+        The unbiased estimate from an independent sample set (Eq. 8),
+        where the algorithm maintains one (AdaAlg); ``None`` otherwise.
+    num_samples:
+        Total shortest paths drawn, across **all** sample sets — the
+        quantity plotted in the paper's Figs. 4–5.
+    iterations:
+        Outer-loop iterations executed (guesses tried / rounds run).
+    converged:
+        Whether the algorithm's own stopping rule fired (``False``
+        means it exhausted its iteration budget and returned its best
+        tentative group).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    diagnostics:
+        Free-form per-algorithm extras (e.g. AdaAlg's per-iteration
+        trace).
+    """
+
+    algorithm: str
+    group: list[int]
+    estimate: float
+    estimate_unbiased: float | None = None
+    num_samples: int = 0
+    iterations: int = 0
+    converged: bool = True
+    elapsed_seconds: float = 0.0
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Group size."""
+        return len(self.group)
+
+    def normalized_estimate(self, graph: CSRGraph) -> float:
+        """``estimate / (n(n-1))`` — the paper's normalized GBC."""
+        pairs = graph.num_ordered_pairs
+        return self.estimate / pairs if pairs else 0.0
+
+
+class GBCAlgorithm(abc.ABC):
+    """Abstract base: ``run(graph, k) -> GBCResult``."""
+
+    #: Human-readable algorithm name, set by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, graph: CSRGraph, k: int) -> GBCResult:
+        """Compute a top-``k`` group for ``graph``."""
+
+    @staticmethod
+    def _validate(graph: CSRGraph, k: int) -> None:
+        if graph.n < 2:
+            raise ParameterError("top-K GBC needs a graph with at least 2 nodes")
+        if not 1 <= k <= graph.n:
+            raise ParameterError(f"need 1 <= K <= n={graph.n}, got K={k}")
+
+
+class SamplingAlgorithm(GBCAlgorithm):
+    """Shared plumbing for the path-sampling algorithms.
+
+    Handles endpoint-convention slicing, sampler construction with
+    independent child RNG streams, and timing.
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.3,
+        gamma: float = 0.01,
+        include_endpoints: bool = True,
+        sampler_method: str = "bidirectional",
+        seed=None,
+    ):
+        if not 0.0 < eps < 1.0:
+            raise ParameterError(f"eps must lie in (0, 1), got {eps}")
+        if not 0.0 < gamma < 1.0:
+            raise ParameterError(f"gamma must lie in (0, 1), got {gamma}")
+        self.eps = eps
+        self.gamma = gamma
+        self.include_endpoints = include_endpoints
+        self.sampler_method = sampler_method
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+    def _make_samplers(self, graph: CSRGraph, count: int) -> list[PathSampler]:
+        """Independent samplers (one per sample set the algorithm keeps)."""
+        return [
+            PathSampler(graph, seed=child, method=self.sampler_method)
+            for child in spawn(self._rng, count)
+        ]
+
+    def _coverage_nodes(self, sample: PathSample) -> np.ndarray:
+        """Path nodes that count as covering, per the endpoint convention."""
+        if sample.is_null:
+            return sample.nodes
+        if self.include_endpoints:
+            return sample.nodes
+        return sample.nodes[1:-1]
+
+    def _extend(
+        self, instance: CoverageInstance, sampler: PathSampler, upto: int
+    ) -> None:
+        """Grow ``instance`` to hold ``upto`` samples.
+
+        Large increments (at least the node count) go through the
+        source-grouped batch sampler, which amortizes one BFS across
+        every pair sharing a source — same distribution, far fewer
+        traversals.
+        """
+        missing = upto - instance.num_paths
+        if missing <= 0:
+            return
+        if missing >= sampler.graph.n:
+            for sample in sampler.sample_batch(missing):
+                instance.add_path(self._coverage_nodes(sample))
+            return
+        while instance.num_paths < upto:
+            sample = sampler.sample()
+            instance.add_path(self._coverage_nodes(sample))
+
+    @staticmethod
+    def _timer() -> float:
+        return time.perf_counter()

@@ -1,0 +1,82 @@
+"""EXHAUST — the quality yardstick of the paper's evaluation.
+
+EXHAUST is simply HEDGE run with a very small error ratio and error
+probability (the paper uses ``eps = 0.03`` and ``gamma = 0.01%``), so
+its output is essentially a ``(1 - 1/e)``-approximation; the other
+algorithms' normalized GBCs are reported as fractions of EXHAUST's
+(Figs. 2–3).
+
+The theoretically mandated sample count at ``eps = 0.03`` is enormous
+(tens of millions of paths); the original C++ implementation absorbed
+that on a workstation, a pure-Python reproduction cannot.  EXHAUST
+therefore accepts a ``num_samples`` override: draw exactly that many
+paths once and run greedy max coverage on them.  The default (200k) is
+far past the empirical convergence of the estimates on the scaled-down
+datasets (see the Fig. 1 bench: the relative error halves with every
+doubling of L and is well under 1% at this size), so the yardstick
+property is preserved.  Pass ``num_samples=None`` to run the faithful
+(slow) schedule.
+"""
+
+from __future__ import annotations
+
+from ..coverage import CoverageInstance, greedy_max_cover
+from ..graph.csr import CSRGraph
+from .base import GBCResult
+from .hedge import Hedge
+
+__all__ = ["Exhaust"]
+
+_DEFAULT_SAMPLES = 200_000
+
+
+class Exhaust(Hedge):
+    """HEDGE with tiny (eps, gamma); a near-``(1 - 1/e) opt`` reference."""
+
+    name = "EXHAUST"
+
+    def __init__(
+        self,
+        eps: float = 0.03,
+        gamma: float = 1e-4,
+        num_samples: int | None = _DEFAULT_SAMPLES,
+        include_endpoints: bool = True,
+        sampler_method: str = "bidirectional",
+        seed=None,
+        max_samples: int | None = None,
+    ):
+        super().__init__(
+            eps=eps,
+            gamma=gamma,
+            include_endpoints=include_endpoints,
+            sampler_method=sampler_method,
+            seed=seed,
+            max_samples=max_samples,
+        )
+        self.num_samples = num_samples
+
+    def run(self, graph: CSRGraph, k: int) -> GBCResult:
+        if self.num_samples is None:
+            return super().run(graph, k)
+        self._validate(graph, k)
+        start = self._timer()
+
+        (sampler,) = self._make_samplers(graph, 1)
+        instance = CoverageInstance(graph.n)
+        self._extend(instance, sampler, self.num_samples)
+        cover = greedy_max_cover(instance, k)
+        estimate = cover.covered / instance.num_paths * graph.num_ordered_pairs
+
+        return GBCResult(
+            algorithm=self.name,
+            group=cover.group,
+            estimate=estimate,
+            num_samples=instance.num_paths,
+            iterations=1,
+            converged=True,
+            elapsed_seconds=self._timer() - start,
+            diagnostics={
+                "fixed_budget": True,
+                "edges_explored": sampler.total_edges_explored,
+            },
+        )

@@ -1,0 +1,41 @@
+"""Concentration bounds and sample-size schedules (paper Secs. IV–V)."""
+
+from .martingale import (
+    EULER_FACTOR,
+    alpha_of,
+    base_lower_bound,
+    c2_of,
+    choose_base,
+    deviation_probability,
+    epsilon_one,
+    max_relative_beta,
+    q_max_of,
+    theta_of,
+)
+from .rademacher import era_deviation_bound, monte_carlo_era, signed_greedy_supremum
+from .sample_size import (
+    adaalg_schedule,
+    centra_sample_size,
+    guess_schedule,
+    hedge_sample_size,
+)
+
+__all__ = [
+    "EULER_FACTOR",
+    "alpha_of",
+    "c2_of",
+    "base_lower_bound",
+    "choose_base",
+    "q_max_of",
+    "theta_of",
+    "epsilon_one",
+    "deviation_probability",
+    "max_relative_beta",
+    "hedge_sample_size",
+    "centra_sample_size",
+    "adaalg_schedule",
+    "guess_schedule",
+    "monte_carlo_era",
+    "signed_greedy_supremum",
+    "era_deviation_bound",
+]

@@ -1,0 +1,132 @@
+"""The paper's concentration machinery (Sec. IV–V), in closed form.
+
+Samples drawn inside an adaptive algorithm are not independent (how
+many get drawn depends on earlier draws), so the paper replaces
+Chernoff bounds with a Chernoff-like *martingale* tail bound
+(Lemma 1, Chung–Lu Thm. 18) and derives:
+
+* Lemma 2 — the deviation probability of the unbiased estimator
+  (:func:`deviation_probability`);
+* Eq. 10 — the error radius ``eps_1`` as the root of
+  ``x^2 / (2 + 2x/3) = c_1`` (:func:`epsilon_one`);
+* Eq. 12–13 — the sample-growth base ``b`` (:func:`base_lower_bound`,
+  :func:`choose_base`), the smallest base for which Lemma 3's
+  exponent ``c_2 (3/2 - 9/(2b+4)) (1 - 1/b)`` reaches 1;
+* the constants ``alpha``, ``theta``, ``Q_max`` of Algorithm 1
+  (:func:`alpha_of`, :func:`theta_of`, :func:`q_max_of`).
+
+Every function is a pure formula, which lets the tests verify the
+algebra (e.g. that ``eps_1`` really solves its quadratic and ``b'``
+really normalizes Lemma 3's exponent).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "EULER_FACTOR",
+    "alpha_of",
+    "c2_of",
+    "base_lower_bound",
+    "choose_base",
+    "q_max_of",
+    "theta_of",
+    "epsilon_one",
+    "deviation_probability",
+    "max_relative_beta",
+]
+
+#: ``1 - 1/e`` — the greedy max-coverage approximation factor.
+EULER_FACTOR = 1.0 - 1.0 / math.e
+
+_DEFAULT_B_MIN = 1.1
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParameterError(message)
+
+
+def alpha_of(eps: float) -> float:
+    """``alpha = eps / (2 - 1/e)`` (Algorithm 1, line 1)."""
+    _require(0.0 < eps < EULER_FACTOR, f"eps must lie in (0, 1 - 1/e); got {eps}")
+    return eps / (2.0 - 1.0 / math.e)
+
+
+def c2_of(alpha: float) -> float:
+    """``c_2 = (2 + alpha) / alpha^2`` (Sec. IV-C)."""
+    _require(alpha > 0.0, f"alpha must be positive; got {alpha}")
+    return (2.0 + alpha) / (alpha * alpha)
+
+
+def base_lower_bound(c2: float) -> float:
+    """Eq. 12: ``b' = (3 c_2 + 2 + sqrt(18 c_2 + 4)) / (3 c_2 - 2)``.
+
+    ``b'`` is the base at which Lemma 3's exponent
+    ``c_2 (3/2 - 9/(2b+4)) (1 - 1/b)`` equals exactly 1, so any
+    ``b >= b'`` keeps the false-trigger probability below
+    ``gamma / (2 Q_max)``.
+    """
+    _require(c2 > 2.0 / 3.0, f"c2 must exceed 2/3 for Eq. 12; got {c2}")
+    return (3.0 * c2 + 2.0 + math.sqrt(18.0 * c2 + 4.0)) / (3.0 * c2 - 2.0)
+
+
+def choose_base(eps: float, b_min: float = _DEFAULT_B_MIN) -> float:
+    """Eq. 13: ``b = max(b', b_min)`` for the given error ratio."""
+    _require(b_min > 1.0, f"b_min must exceed 1; got {b_min}")
+    return max(base_lower_bound(c2_of(alpha_of(eps))), b_min)
+
+
+def q_max_of(n: int, b: float) -> int:
+    """``Q_max = ceil(log_b n(n-1))`` — the iteration budget."""
+    _require(n >= 2, f"need at least two nodes; got n={n}")
+    _require(b > 1.0, f"base must exceed 1; got {b}")
+    return max(1, math.ceil(math.log(n * (n - 1)) / math.log(b)))
+
+
+def theta_of(eps: float, gamma: float, q_max: int) -> float:
+    """``theta = (ln(2/gamma) + ln Q_max) (2 + alpha) / alpha^2``."""
+    _require(0.0 < gamma < 1.0, f"gamma must lie in (0, 1); got {gamma}")
+    _require(q_max >= 1, f"Q_max must be >= 1; got {q_max}")
+    alpha = alpha_of(eps)
+    return (math.log(2.0 / gamma) + math.log(q_max)) * c2_of(alpha)
+
+
+def epsilon_one(c1: float) -> float:
+    """Eq. 10: the positive root of ``x^2 / (2 + 2x/3) = c_1``.
+
+    ``c_1 = ln(4/gamma) / (theta b^(cnt-2))`` shrinks as the event
+    counter grows, so ``eps_1`` tightens over AdaAlg's iterations.
+    """
+    _require(c1 > 0.0, f"c1 must be positive; got {c1}")
+    return (2.0 * c1 / 3.0 + math.sqrt(4.0 * c1 * c1 / 9.0 + 8.0 * c1)) / 2.0
+
+
+def deviation_probability(num_samples: float, lam: float, mu: float) -> float:
+    """Lemma 2's one-sided tail bound.
+
+    ``Pr[|B_L(C) - B(C)| >= lam * B(C)]`` is at most
+    ``exp(-L * lam^2 * mu / (2 + 2 lam / 3))`` per side, where
+    ``mu = B(C)/n(n-1)``.
+    """
+    _require(num_samples >= 0, "sample count must be non-negative")
+    _require(lam > 0.0, f"lambda must be positive; got {lam}")
+    _require(0.0 < mu <= 1.0, f"mu must lie in (0, 1]; got {mu}")
+    exponent = num_samples * lam * lam * mu / (2.0 + 2.0 * lam / 3.0)
+    return math.exp(-exponent)
+
+
+def max_relative_beta(eps: float, eps1: float) -> float:
+    """The largest relative error ``beta`` Algorithm 1 can tolerate.
+
+    Inverts the stopping rule
+    ``eps_sum = beta (1 - 1/e)(1 - eps_1) + (2 - 1/e) eps_1 <= eps``
+    (paper's Remark in Sec. IV-B).  May be negative when ``eps_1`` is
+    still too large, meaning no ``beta`` can trigger a stop yet.
+    """
+    _require(0.0 < eps < EULER_FACTOR, f"eps must lie in (0, 1 - 1/e); got {eps}")
+    _require(0.0 < eps1 < 1.0, f"eps_1 must lie in (0, 1); got {eps1}")
+    return (eps - (2.0 - 1.0 / math.e) * eps1) / (EULER_FACTOR * (1.0 - eps1))

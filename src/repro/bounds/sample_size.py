@@ -1,0 +1,108 @@
+"""Sample-size schedules for AdaAlg and the comparison algorithms.
+
+The paper compares three path-sampling algorithms whose sample counts
+it quotes as asymptotic bounds (Sec. II).  To run them, the O(·)
+bounds need explicit constants; we derive them from the same Lemma-2
+style tail bound so that the *relative* comparison (the subject of
+Figs. 4–5) is apples-to-apples:
+
+* **HEDGE** [Mahmoody et al. 2016] must control the deviation of every
+  one of the ``n^K`` candidate groups to ``(eps/2)·opt``.  Setting
+  ``lam B(C) = (eps/2) opt`` in Lemma 2 with a union bound over
+  ``n^K`` groups gives
+
+      L_2(mu) = 4 (2 + eps/3) (K ln n + ln(2/gamma)) / (eps^2 mu).
+
+* **CentRa** [Pellegrina 2023] replaces the crude ``K ln n`` union
+  bound with a Rademacher-average complexity term
+  ``K (ln K)(ln ln n)(ln 1/mu)`` and variance-aware tail bounds, which
+  also sharpen the leading constant; we use half of HEDGE's constant:
+
+      L_3(mu) = 2 (2 + eps/3) (K ln K ln ln n ln(1/mu) + ln(2/gamma))
+                / (eps^2 mu).
+
+* **AdaAlg** (this paper) grows the sample set geometrically:
+  ``L_q = theta * b^q`` (Eq. 7), with ``theta`` and ``b`` from
+  :mod:`repro.bounds.martingale`.
+
+``mu`` is the (guessed) normalized optimum ``opt / n(n-1)``; every
+algorithm lowers the guess geometrically until its stopping rule fires.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ParameterError
+from .martingale import choose_base, q_max_of, theta_of
+
+__all__ = [
+    "hedge_sample_size",
+    "centra_sample_size",
+    "adaalg_schedule",
+    "guess_schedule",
+]
+
+
+def _validate(n: int, k: int, eps: float, gamma: float, mu: float) -> None:
+    if n < 2:
+        raise ParameterError(f"need n >= 2, got {n}")
+    if not 1 <= k <= n:
+        raise ParameterError(f"need 1 <= K <= n, got K={k}")
+    if not 0.0 < eps < 1.0:
+        raise ParameterError(f"eps must lie in (0, 1), got {eps}")
+    if not 0.0 < gamma < 1.0:
+        raise ParameterError(f"gamma must lie in (0, 1), got {gamma}")
+    if not 0.0 < mu <= 1.0:
+        raise ParameterError(f"mu must lie in (0, 1], got {mu}")
+
+
+def hedge_sample_size(n: int, k: int, eps: float, gamma: float, mu: float) -> int:
+    """HEDGE's union-bound sample count ``L_2(mu)`` (see module docs)."""
+    _validate(n, k, eps, gamma, mu)
+    complexity = k * math.log(n) + math.log(2.0 / gamma)
+    return math.ceil(4.0 * (2.0 + eps / 3.0) * complexity / (eps * eps * mu))
+
+
+def centra_sample_size(n: int, k: int, eps: float, gamma: float, mu: float) -> int:
+    """CentRa's Rademacher-complexity sample count ``L_3(mu)``."""
+    _validate(n, k, eps, gamma, mu)
+    log_k = math.log(max(k, 2))
+    loglog_n = math.log(math.log(max(n, 3)))
+    log_inv_mu = math.log(1.0 / mu)
+    complexity = k * log_k * max(loglog_n, 1.0) * max(log_inv_mu, 1.0)
+    complexity += math.log(2.0 / gamma)
+    return math.ceil(2.0 * (2.0 + eps / 3.0) * complexity / (eps * eps * mu))
+
+
+def adaalg_schedule(n: int, eps: float, gamma: float, b_min: float = 1.1):
+    """AdaAlg's per-iteration constants: ``(b, q_max, theta)``.
+
+    ``L_q = ceil(theta * b^q)`` for ``q = 1 .. q_max`` (Eq. 7).
+    """
+    if n < 2:
+        raise ParameterError(f"need n >= 2, got {n}")
+    b = choose_base(eps, b_min=b_min)
+    q_max = q_max_of(n, b)
+    theta = theta_of(eps, gamma, q_max)
+    return b, q_max, theta
+
+
+def guess_schedule(n: int, base: float = 2.0):
+    """Geometric guesses of ``opt``: ``n(n-1)/base^q`` for ``q = 1, 2, ...``.
+
+    Yields ``(q, guess, mu_guess)`` down to a single ordered pair's
+    worth of centrality; used by the HEDGE/CentRa outer loops.
+    """
+    if n < 2:
+        raise ParameterError(f"need n >= 2, got {n}")
+    if base <= 1.0:
+        raise ParameterError(f"guess base must exceed 1, got {base}")
+    pairs = n * (n - 1)
+    q = 0
+    while True:
+        q += 1
+        guess = pairs / base**q
+        if guess < 1.0:
+            return
+        yield q, guess, guess / pairs

@@ -1,0 +1,283 @@
+"""Command-line interface: ``repro-gbc`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``run``
+    Run one algorithm on a dataset (or an edge-list file) and print the
+    found group, its estimated centrality, and the sample count.
+``compare``
+    Run several algorithms head-to-head on the same graph and print a
+    comparison table (quality, samples, time).
+``experiment``
+    Regenerate one of the paper's tables/figures at a chosen preset,
+    optionally exporting the rows (``--output result.csv|.json``).
+``datasets``
+    List the Table I registry.
+
+Examples
+--------
+::
+
+    repro-gbc run --algorithm adaalg --dataset GrQc -k 20 --eps 0.3
+    repro-gbc run --algorithm hedge --edge-list my_graph.txt -k 10
+    repro-gbc compare --dataset GrQc -k 20
+    repro-gbc experiment fig4 --preset smoke --output fig4.csv
+    repro-gbc datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .algorithms import (
+    AdaAlg,
+    BruteForce,
+    CentRa,
+    Exhaust,
+    Hedge,
+    PuzisGreedy,
+    YoshidaSketch,
+)
+from .datasets import DATASETS, load
+from .experiments import (
+    BENCH,
+    FULL,
+    REDUCED,
+    SMOKE,
+    run_base_sweep,
+    run_endpoint_ablation,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_local_search_ablation,
+    run_pair_vs_path,
+    run_sampler_work,
+    run_strategy_comparison,
+    run_work_scaling,
+    run_table1,
+    run_validation_set_ablation,
+    write_result,
+)
+from .experiments.report import format_table
+from .graph import giant_component, read_edge_list, read_weighted_edge_list
+from .paths import exact_gbc
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {"smoke": SMOKE, "bench": BENCH, "reduced": REDUCED, "full": FULL}
+_EXPERIMENTS = {
+    "table1": lambda cfg: run_table1(cfg),
+    "fig1": lambda cfg: run_fig1(cfg),
+    "fig2": lambda cfg: run_fig2(cfg),
+    "fig3": lambda cfg: run_fig3(cfg),
+    "fig4": lambda cfg: run_fig4(cfg),
+    "fig5": lambda cfg: run_fig5(cfg),
+    "ablation-base": lambda cfg: run_base_sweep(cfg),
+    "ablation-work": lambda cfg: run_sampler_work(cfg),
+    "ablation-endpoints": lambda cfg: run_endpoint_ablation(cfg),
+    "ablation-strategies": lambda cfg: run_strategy_comparison(cfg),
+    "ablation-pairs": lambda cfg: run_pair_vs_path(cfg),
+    "ablation-validation": lambda cfg: run_validation_set_ablation(cfg),
+    "ablation-localsearch": lambda cfg: run_local_search_ablation(cfg),
+    "ablation-scaling": lambda cfg: run_work_scaling(cfg),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gbc",
+        description="Top-K group betweenness centrality (AdaAlg reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(parser_):
+        source = parser_.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--dataset", help="registry dataset name (see `datasets`)"
+        )
+        source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+        parser_.add_argument(
+            "--directed", action="store_true", help="edge list is directed"
+        )
+        parser_.add_argument(
+            "--weighted",
+            action="store_true",
+            help="edge list has a third integer-weight column",
+        )
+        parser_.add_argument(
+            "--whole-graph",
+            action="store_true",
+            help="do not restrict to the giant component",
+        )
+        parser_.add_argument("--seed", type=int, default=0, help="random seed")
+
+    run = sub.add_parser("run", help="run one algorithm on one graph")
+    add_graph_source(run)
+    run.add_argument(
+        "--algorithm",
+        choices=["adaalg", "hedge", "centra", "exhaust", "yoshida", "puzis", "brute"],
+        default="adaalg",
+    )
+    run.add_argument("-k", type=int, default=20, help="group size (default 20)")
+    run.add_argument("--eps", type=float, default=0.3, help="error ratio")
+    run.add_argument("--gamma", type=float, default=0.01, help="error probability")
+
+    compare = sub.add_parser(
+        "compare", help="run several algorithms head-to-head on one graph"
+    )
+    add_graph_source(compare)
+    compare.add_argument("-k", type=int, default=20, help="group size (default 20)")
+    compare.add_argument("--eps", type=float, default=0.3, help="error ratio")
+    compare.add_argument("--gamma", type=float, default=0.01, help="error probability")
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["exhaust", "hedge", "centra", "adaalg"],
+        choices=["adaalg", "hedge", "centra", "exhaust", "yoshida"],
+        help="which algorithms to compare",
+    )
+    compare.add_argument(
+        "--exact",
+        action="store_true",
+        help="grade each group with the exact GBC (slow on large graphs)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="smoke", help="scale preset"
+    )
+    experiment.add_argument("--seed", type=int, default=None, help="override seed")
+    experiment.add_argument(
+        "--output", default=None, help="also write rows to a .csv or .json file"
+    )
+
+    sub.add_parser("datasets", help="list the Table I dataset registry")
+    return parser
+
+
+def _make_algorithm(name: str, eps: float, gamma: float, seed: int):
+    factories = {
+        "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed),
+        "hedge": lambda: Hedge(eps=eps, gamma=gamma, seed=seed),
+        "centra": lambda: CentRa(eps=eps, gamma=gamma, seed=seed),
+        "exhaust": lambda: Exhaust(seed=seed),
+        "yoshida": lambda: YoshidaSketch(eps=eps, gamma=gamma, seed=seed),
+        "puzis": lambda: PuzisGreedy(),
+        "brute": lambda: BruteForce(),
+    }
+    return factories[name]()
+
+
+def _load_graph(args):
+    if args.dataset:
+        return load(args.dataset, seed=args.seed, giant_only=not args.whole_graph)
+    if args.weighted:
+        graph, _ = read_weighted_edge_list(args.edge_list, directed=args.directed)
+    else:
+        graph, _ = read_edge_list(args.edge_list, directed=args.directed)
+    if not args.whole_graph:
+        graph, _ = giant_component(graph)
+    return graph
+
+
+def _cmd_run(args) -> int:
+    graph = _load_graph(args)
+    algorithm = _make_algorithm(args.algorithm, args.eps, args.gamma, args.seed)
+    result = algorithm.run(graph, args.k)
+    pairs = graph.num_ordered_pairs
+    print(f"algorithm   : {result.algorithm}")
+    print(f"graph       : n={graph.n} m={graph.num_edges} "
+          f"({'directed' if graph.directed else 'undirected'})")
+    print(f"group (K={args.k}): {sorted(result.group)}")
+    print(f"estimate    : {result.estimate:.1f} "
+          f"(normalized {result.estimate / pairs:.4f})")
+    if result.estimate_unbiased is not None:
+        print(f"unbiased    : {result.estimate_unbiased:.1f}")
+    print(f"samples     : {result.num_samples}")
+    print(f"iterations  : {result.iterations}")
+    print(f"converged   : {result.converged}")
+    print(f"elapsed     : {result.elapsed_seconds:.2f}s")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = _load_graph(args)
+    pairs = graph.num_ordered_pairs
+    rows = []
+    for name in args.algorithms:
+        algorithm = _make_algorithm(name, args.eps, args.gamma, args.seed)
+        result = algorithm.run(graph, args.k)
+        quality = (
+            exact_gbc(graph, result.group) if args.exact else result.estimate
+        )
+        rows.append(
+            [
+                result.algorithm,
+                quality / pairs if pairs else 0.0,
+                result.num_samples,
+                round(result.elapsed_seconds, 2),
+                result.converged,
+            ]
+        )
+    metric = "exact norm GBC" if args.exact else "estimated norm GBC"
+    print(f"graph: n={graph.n} m={graph.num_edges}; "
+          f"K={args.k} eps={args.eps} gamma={args.gamma}")
+    print(format_table([
+        "algorithm", metric, "samples", "seconds", "converged"
+    ], rows))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    config = _PRESETS[args.preset]
+    if args.seed is not None:
+        config = config.with_overrides(seed=args.seed)
+    result = _EXPERIMENTS[args.name](config)
+    print(result.render())
+    if args.output:
+        write_result(result, args.output)
+        print(f"rows written to {args.output}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.paper_nodes,
+            spec.paper_edges,
+            "directed" if spec.directed else "undirected",
+            spec.kind,
+            spec.description,
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["name", "paper_V", "paper_E", "type", "kind", "description"], rows
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Maximum-coverage substrate: path/node incidence + lazy greedy."""
+
+from .greedy import GreedyCoverResult, greedy_max_cover
+from .hypergraph import CoverageInstance
+from .local_search import LocalSearchResult, swap_local_search
+
+__all__ = [
+    "CoverageInstance",
+    "GreedyCoverResult",
+    "greedy_max_cover",
+    "LocalSearchResult",
+    "swap_local_search",
+]

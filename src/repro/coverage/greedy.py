@@ -1,0 +1,116 @@
+"""Lazy greedy (CELF) maximum coverage.
+
+The classic (1 - 1/e)-approximation for maximum coverage [Nemhauser et
+al. 1978], accelerated with the CELF lazy-evaluation trick: marginal
+gains of a monotone submodular function only shrink as the solution
+grows, so a stale heap entry whose re-evaluated gain still tops the
+heap is guaranteed optimal for this round.  On the path hypergraphs
+produced by the samplers this typically evaluates a small fraction of
+the candidate nodes per round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .hypergraph import CoverageInstance
+
+__all__ = ["GreedyCoverResult", "greedy_max_cover"]
+
+
+@dataclass(frozen=True)
+class GreedyCoverResult:
+    """Outcome of one greedy max-cover run.
+
+    Attributes
+    ----------
+    group:
+        The selected node ids, in pick order (padded nodes last).
+    covered:
+        Total number of paths covered by the group — the paper's ``L'``.
+    gains:
+        Marginal number of newly covered paths per pick (0 for padding).
+    evaluations:
+        How many gain evaluations the lazy greedy performed (a CELF
+        efficiency diagnostic; plain greedy would use ``K * n``).
+    """
+
+    group: list[int]
+    covered: int
+    gains: list[int]
+    evaluations: int
+
+
+def greedy_max_cover(
+    instance: CoverageInstance, k: int, pad: bool = True
+) -> GreedyCoverResult:
+    """Pick ``k`` nodes covering as many paths of ``instance`` as possible.
+
+    Parameters
+    ----------
+    k:
+        Group size.  Must not exceed the node universe.
+    pad:
+        When fewer than ``k`` nodes have positive marginal gain (small
+        sample sets), fill the group with unused node ids so that it
+        has exactly ``k`` members — the problem statement asks for a
+        group of exactly ``K`` nodes and extra members never hurt.
+    """
+    if k < 1:
+        raise ParameterError("group size k must be >= 1")
+    if k > instance.num_nodes:
+        raise ParameterError(
+            f"group size k={k} exceeds the node universe {instance.num_nodes}"
+        )
+
+    covered = np.zeros(instance.num_paths, dtype=bool)
+    chosen: list[int] = []
+    gains: list[int] = []
+    evaluations = 0
+
+    # heap of (-gain, node); gains recorded at push time may be stale
+    heap: list[tuple[int, int]] = []
+    for node in range(instance.num_nodes):
+        degree = instance.degree(node)
+        if degree > 0:
+            heap.append((-degree, node))
+    heapq.heapify(heap)
+    fresh_for_round = {}  # node -> round when its gain was last computed
+
+    round_no = 0
+    while heap and len(chosen) < k:
+        neg_gain, node = heapq.heappop(heap)
+        if fresh_for_round.get(node) == round_no:
+            gain = -neg_gain
+            if gain <= 0:
+                break
+            chosen.append(node)
+            gains.append(gain)
+            covered[instance.paths_through(node)] = True
+            round_no += 1
+            continue
+        # stale entry: re-evaluate against the current cover
+        pids = instance.paths_through(node)
+        gain = int(np.count_nonzero(~covered[pids])) if pids else 0
+        evaluations += 1
+        fresh_for_round[node] = round_no
+        if gain > 0:
+            heapq.heappush(heap, (-gain, node))
+
+    if pad and len(chosen) < k:
+        in_group = set(chosen)
+        filler = (v for v in range(instance.num_nodes) if v not in in_group)
+        while len(chosen) < k:
+            chosen.append(next(filler))
+            gains.append(0)
+
+    return GreedyCoverResult(
+        group=chosen,
+        covered=int(covered.sum()),
+        gains=gains,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,99 @@
+"""Incidence structure between sampled paths and the nodes they visit.
+
+Every sampling algorithm in the paper reduces top-K GBC to *maximum
+coverage*: each sampled shortest path is a hyperedge over the nodes it
+visits, and a group of K nodes should cover (intersect) as many
+hyperedges as possible.  :class:`CoverageInstance` stores that
+incidence incrementally — AdaAlg keeps growing the same sample set
+across iterations, so paths are appended, never rebuilt.
+
+Null samples (empty node arrays, from disconnected pairs) are stored
+too: they are covered by no node but count toward the sample size,
+which the unbiased estimator divides by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["CoverageInstance"]
+
+
+class CoverageInstance:
+    """A growable set of node-subsets ("paths") supporting coverage queries.
+
+    Attributes
+    ----------
+    num_nodes:
+        Size of the node universe (paths may only mention ids below it).
+    num_paths:
+        Number of paths added so far, nulls included.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 0:
+            raise ParameterError("num_nodes must be non-negative")
+        self.num_nodes = num_nodes
+        self._paths: list[np.ndarray] = []
+        self._node_to_paths: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_paths(self) -> int:
+        """Number of stored paths (null samples included)."""
+        return len(self._paths)
+
+    def add_path(self, nodes) -> int:
+        """Append one path; returns its id.  ``nodes`` may be empty."""
+        arr = np.unique(np.asarray(nodes, dtype=np.int64))
+        if arr.size and (arr[0] < 0 or arr[-1] >= self.num_nodes):
+            raise ParameterError("path mentions node ids outside the universe")
+        pid = len(self._paths)
+        self._paths.append(arr)
+        for v in arr:
+            self._node_to_paths.setdefault(int(v), []).append(pid)
+        return pid
+
+    def add_paths(self, paths) -> None:
+        """Append many paths (any iterable of node iterables)."""
+        for nodes in paths:
+            self.add_path(nodes)
+
+    def path(self, pid: int) -> np.ndarray:
+        """The (sorted, deduplicated) node array of path ``pid``."""
+        return self._paths[pid]
+
+    def paths_through(self, node: int) -> list[int]:
+        """Ids of all paths visiting ``node``."""
+        return list(self._node_to_paths.get(int(node), ()))
+
+    def degree(self, node: int) -> int:
+        """Number of paths visiting ``node``."""
+        return len(self._node_to_paths.get(int(node), ()))
+
+    # ------------------------------------------------------------------
+    def covered_count(self, group) -> int:
+        """How many stored paths contain at least one node of ``group``.
+
+        This is the quantity ``L'`` in the paper's estimators
+        (Eqs. 4 and 8).
+        """
+        members = np.asarray(list(group), dtype=np.int64)
+        if members.size == 0:
+            return 0
+        if members.min() < 0 or members.max() >= self.num_nodes:
+            raise ParameterError("group mentions node ids outside the universe")
+        covered = np.zeros(self.num_paths, dtype=bool)
+        for v in np.unique(members):
+            pids = self._node_to_paths.get(int(v))
+            if pids:
+                covered[pids] = True
+        return int(covered.sum())
+
+    def coverage_fraction(self, group) -> float:
+        """``covered_count / num_paths`` (0 on an empty instance)."""
+        if self.num_paths == 0:
+            return 0.0
+        return self.covered_count(group) / self.num_paths

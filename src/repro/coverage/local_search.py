@@ -1,0 +1,105 @@
+"""Swap local search — optional refinement of a greedy cover.
+
+Greedy max coverage is (1 - 1/e)-optimal, but on concrete instances a
+round of single-swap local search often recovers part of the remaining
+gap: for each group member, check whether replacing it with the best
+outside node increases the number of covered paths; repeat until no
+swap improves.  The refined group never covers fewer paths than the
+input group, so it can only improve the centrality estimate.
+
+This is a "future work"-grade extension (the paper returns the greedy
+group as-is); the ablation benchmark measures how much it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .hypergraph import CoverageInstance
+
+__all__ = ["LocalSearchResult", "swap_local_search"]
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of a swap local-search run.
+
+    Attributes
+    ----------
+    group:
+        The refined group (same size as the input).
+    covered:
+        Paths covered by the refined group.
+    swaps:
+        Number of improving swaps applied.
+    rounds:
+        Full passes over the group performed.
+    """
+
+    group: list[int]
+    covered: int
+    swaps: int
+    rounds: int
+
+
+def swap_local_search(
+    instance: CoverageInstance, group, max_rounds: int = 10
+) -> LocalSearchResult:
+    """Improve ``group`` by single-node swaps until a local optimum.
+
+    Each pass considers every member in turn: with that member removed,
+    the node (inside or outside the group) covering the most
+    currently-uncovered paths takes its slot.  Terminates after
+    ``max_rounds`` passes or the first pass with no improving swap.
+    """
+    members = list(dict.fromkeys(int(v) for v in group))
+    if len(members) != len(list(group)):
+        raise ParameterError("group must not contain duplicate nodes")
+    for v in members:
+        if not 0 <= v < instance.num_nodes:
+            raise ParameterError("group mentions node ids outside the universe")
+    if max_rounds < 1:
+        raise ParameterError("max_rounds must be >= 1")
+
+    # per-path coverage multiplicity lets us remove a member in O(deg)
+    multiplicity = np.zeros(instance.num_paths, dtype=np.int32)
+    for v in members:
+        multiplicity[instance.paths_through(v)] += 1
+
+    swaps = 0
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        improved = False
+        for slot, current in enumerate(members):
+            multiplicity[instance.paths_through(current)] -= 1
+            uncovered = multiplicity == 0
+            in_group = set(members) - {current}
+
+            best_node, best_gain = current, int(
+                np.count_nonzero(uncovered[instance.paths_through(current)])
+            )
+            for candidate in range(instance.num_nodes):
+                if candidate in in_group or candidate == current:
+                    continue
+                pids = instance.paths_through(candidate)
+                if not pids:
+                    continue
+                gain = int(np.count_nonzero(uncovered[pids]))
+                if gain > best_gain:
+                    best_node, best_gain = candidate, gain
+            if best_node != current:
+                members[slot] = best_node
+                swaps += 1
+                improved = True
+            multiplicity[instance.paths_through(members[slot])] += 1
+        if not improved:
+            break
+
+    covered = int(np.count_nonzero(multiplicity > 0))
+    return LocalSearchResult(
+        group=members, covered=covered, swaps=swaps, rounds=rounds
+    )

@@ -1,0 +1,5 @@
+"""Dataset registry: scaled synthetic stand-ins for the paper's Table I."""
+
+from .registry import DATASETS, DatasetSpec, dataset_names, get_spec, load
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "get_spec", "load"]

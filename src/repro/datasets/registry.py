@@ -1,0 +1,182 @@
+"""The paper's Table I datasets, as seeded synthetic stand-ins.
+
+The original evaluation uses eight SNAP/WOSN networks (up to 5.4M
+nodes) plus two synthetic ones.  This environment has no network
+access, so each dataset is replaced by a generator producing a graph
+with the same directedness and qualitatively similar structure
+(heavy-tailed degrees for the social/citation networks, ring-lattice
+small-world for the WS entry), scaled to a size where a pure-Python
+reproduction of the full experiment grid is feasible.  The registry
+records the paper's original ``<|V|, |E|>`` so Table I can be printed
+with both columns side by side.
+
+The substitution is sound for the paper's claims because every
+quantity under test (relative error convergence, sample-count ratios,
+approximation quality relative to EXHAUST) is a *ratio* driven by the
+shortest-path structure of heavy-tailed graphs, not by absolute scale;
+see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import DatasetError
+from ..graph import (
+    CSRGraph,
+    barabasi_albert,
+    giant_component,
+    powerlaw_cluster,
+    random_directed,
+    watts_strogatz,
+)
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "dataset_names", "get_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one Table I dataset and its stand-in generator.
+
+    ``paper_nodes`` / ``paper_edges`` are the sizes reported in the
+    paper; ``factory(seed)`` materializes the scaled stand-in.
+    """
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    directed: bool
+    kind: str
+    description: str
+    factory: Callable[[int], CSRGraph]
+
+
+def _grqc(seed: int) -> CSRGraph:
+    return powerlaw_cluster(2000, 3, 0.3, seed=seed)
+
+
+def _facebook(seed: int) -> CSRGraph:
+    return barabasi_albert(4000, 10, seed=seed)
+
+
+def _coauthor(seed: int) -> CSRGraph:
+    return powerlaw_cluster(3000, 2, 0.4, seed=seed)
+
+
+def _dblp(seed: int) -> CSRGraph:
+    return powerlaw_cluster(5000, 3, 0.3, seed=seed)
+
+
+def _epinions(seed: int) -> CSRGraph:
+    return random_directed(3000, 20000, seed=seed, hub_exponent=0.8)
+
+
+def _twitter(seed: int) -> CSRGraph:
+    return random_directed(3000, 12000, seed=seed, hub_exponent=0.9)
+
+
+def _email(seed: int) -> CSRGraph:
+    return random_directed(4000, 7000, seed=seed, hub_exponent=1.0)
+
+
+def _livejournal(seed: int) -> CSRGraph:
+    return random_directed(5000, 40000, seed=seed, hub_exponent=0.7)
+
+
+def _synthetic_ba(seed: int) -> CSRGraph:
+    return barabasi_albert(4000, 8, seed=seed)
+
+
+def _synthetic_ws(seed: int) -> CSRGraph:
+    return watts_strogatz(4000, 16, 0.1, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            "GrQc", 5244, 14496, False, "collaboration",
+            "arXiv General Relativity collaboration network",
+            _grqc,
+        ),
+        DatasetSpec(
+            "Facebook", 63731, 817090, False, "social",
+            "WOSN 2009 Facebook friendship network",
+            _facebook,
+        ),
+        DatasetSpec(
+            "Coauthor", 53442, 127968, False, "collaboration",
+            "Coauthorship network (Lou & Tang, WWW'13)",
+            _coauthor,
+        ),
+        DatasetSpec(
+            "DBLP-2011", 986324, 3353618, False, "collaboration",
+            "DBLP coauthorship snapshot, 2011",
+            _dblp,
+        ),
+        DatasetSpec(
+            "Epinions", 75879, 508837, True, "social",
+            "Epinions who-trusts-whom network",
+            _epinions,
+        ),
+        DatasetSpec(
+            "Twitter", 92180, 377942, True, "social",
+            "Twitter follower subgraph (Lou & Tang, WWW'13)",
+            _twitter,
+        ),
+        DatasetSpec(
+            "Email-euAll", 265214, 420045, True, "communication",
+            "EU research institution email network",
+            _email,
+        ),
+        DatasetSpec(
+            "LiveJournal", 5363260, 54880888, True, "social",
+            "LiveJournal friendship network",
+            _livejournal,
+        ),
+        DatasetSpec(
+            "SyntheticNetwork-BA", 100000, 800000, False, "synthetic",
+            "Barabási–Albert preferential-attachment network",
+            _synthetic_ba,
+        ),
+        DatasetSpec(
+            "SyntheticNetwork-WS", 100000, 800000, False, "synthetic",
+            "Watts–Strogatz small-world network",
+            _synthetic_ws,
+        ),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """Registry names in Table I order."""
+    return list(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Lookup; raises :class:`~repro.exceptions.DatasetError` if unknown."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load(name: str, seed: int = 0, giant_only: bool = True) -> CSRGraph:
+    """Materialize a dataset stand-in.
+
+    Parameters
+    ----------
+    seed:
+        Generator seed — the same (name, seed) pair always yields the
+        same graph.
+    giant_only:
+        Restrict to the largest weakly connected component (the SNAP
+        preprocessing convention); recommended for sampling.
+    """
+    spec = get_spec(name)
+    graph = spec.factory(seed)
+    if giant_only:
+        graph, _ = giant_component(graph)
+    return graph

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Input-validation problems raise
+:class:`GraphError` or :class:`ParameterError`; algorithm-level failures
+(e.g. an adaptive loop that exhausted its iteration budget) raise
+:class:`AlgorithmError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid graph."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm or constructor received an out-of-range parameter."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm could not complete (e.g. iteration budget exhausted)."""
+
+
+class DatasetError(ReproError):
+    """A named dataset is unknown or could not be materialized."""

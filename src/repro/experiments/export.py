@@ -1,0 +1,66 @@
+"""Export experiment results to CSV / JSON.
+
+``FigureResult`` rows are plain Python scalars, so serialization is a
+direct mapping; these helpers exist so that EXPERIMENTS.md and any
+downstream plotting can be generated from the exact data a run
+produced (the CLI's ``experiment --output`` flag uses them).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..exceptions import ParameterError
+from .figures import FigureResult
+
+__all__ = ["to_csv", "to_json", "write_result", "read_json"]
+
+
+def to_csv(result: FigureResult, path) -> None:
+    """Write the result's rows as a CSV file with a header row."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+
+
+def to_json(result: FigureResult, path) -> None:
+    """Write the result as JSON: metadata plus a list of row objects."""
+    path = Path(path)
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": [dict(zip(result.headers, row)) for row in result.rows],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def write_result(result: FigureResult, path) -> None:
+    """Dispatch on the file extension (``.csv`` or ``.json``)."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        to_csv(result, path)
+    elif suffix == ".json":
+        to_json(result, path)
+    else:
+        raise ParameterError(f"unsupported output format {suffix!r} (.csv/.json)")
+
+
+def read_json(path) -> FigureResult:
+    """Load a result previously written by :func:`to_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    headers = payload["headers"]
+    rows = [[row[h] for h in headers] for row in payload["rows"]]
+    return FigureResult(
+        name=payload["name"],
+        title=payload["title"],
+        headers=headers,
+        rows=rows,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment output.
+
+The original paper presents its evaluation as figures; a terminal
+reproduction prints the same series as aligned tables.  These helpers
+are deliberately dependency-free (no plotting), matching the harness's
+"print the rows the paper plots" contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_number", "render_series"]
+
+
+def format_number(value) -> str:
+    """Compact human formatting: ints as-is, floats to 4 significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in str_rows
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+def render_series(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A titled table block, ready for printing."""
+    table = format_table(headers, rows)
+    bar = "=" * max(len(title), 8)
+    return f"{title}\n{bar}\n{table}\n"

@@ -1,0 +1,129 @@
+"""Descriptive graph statistics.
+
+Utilities for characterizing a network before running centrality
+experiments: degree statistics, an approximate effective diameter, a
+sampled clustering coefficient, and a one-call :func:`graph_summary`
+used by the examples and the dataset registry's documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_generator
+from ..exceptions import GraphError
+from .components import weakly_connected_components
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphSummary",
+    "graph_summary",
+    "degree_statistics",
+    "approximate_diameter",
+    "sampled_clustering_coefficient",
+]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-stop description of a network.
+
+    ``diameter`` is a double-sweep lower bound on the hop diameter of
+    the giant component; ``clustering`` is a Monte-Carlo estimate of
+    the average local clustering coefficient.
+    """
+
+    num_nodes: int
+    num_edges: int
+    directed: bool
+    num_components: int
+    giant_fraction: float
+    mean_degree: float
+    max_degree: int
+    degree_p90: float
+    diameter: int
+    clustering: float
+
+
+def degree_statistics(graph: CSRGraph) -> dict:
+    """Mean / max / 90th-percentile of the (out-)degree distribution."""
+    degrees = graph.out_degrees()
+    if degrees.size == 0:
+        return {"mean": 0.0, "max": 0, "p90": 0.0}
+    return {
+        "mean": float(degrees.mean()),
+        "max": int(degrees.max()),
+        "p90": float(np.percentile(degrees, 90)),
+    }
+
+
+def approximate_diameter(graph: CSRGraph, tries: int = 4, seed=None) -> int:
+    """Double-sweep lower bound on the hop diameter.
+
+    BFS from a random node, then BFS again from the farthest node
+    found; the largest eccentricity observed over ``tries`` restarts.
+    Exact on trees, a (usually tight) lower bound in general.
+    """
+    from ..paths.bfs import bfs_distances
+
+    if graph.n == 0:
+        return 0
+    rng = as_generator(seed)
+    best = 0
+    for _ in range(tries):
+        start = int(rng.integers(graph.n))
+        dist = bfs_distances(graph, start)
+        if dist.max() <= 0:
+            continue
+        far = int(np.argmax(dist))
+        second = bfs_distances(graph, far)
+        best = max(best, int(dist.max()), int(second.max()))
+    return best
+
+
+def sampled_clustering_coefficient(
+    graph: CSRGraph, samples: int = 1000, seed=None
+) -> float:
+    """Monte-Carlo estimate of the average local clustering coefficient.
+
+    Samples nodes with degree >= 2 and, for each, one random pair of
+    neighbors, checking whether they are adjacent.  Directed graphs are
+    treated through their out-adjacency.
+    """
+    if samples < 1:
+        raise GraphError("samples must be >= 1")
+    degrees = graph.out_degrees()
+    eligible = np.flatnonzero(degrees >= 2)
+    if eligible.size == 0:
+        return 0.0
+    rng = as_generator(seed)
+    hits = 0
+    for _ in range(samples):
+        v = int(eligible[rng.integers(eligible.size)])
+        nbrs = graph.neighbors(v)
+        i, j = rng.choice(nbrs.size, size=2, replace=False)
+        if graph.has_edge(int(nbrs[i]), int(nbrs[j])):
+            hits += 1
+    return hits / samples
+
+
+def graph_summary(graph: CSRGraph, seed=None) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (cheap: a handful of BFS runs)."""
+    labels = weakly_connected_components(graph)
+    components = int(labels.max()) + 1 if graph.n else 0
+    giant = int(np.bincount(labels).max()) if graph.n else 0
+    stats = degree_statistics(graph)
+    return GraphSummary(
+        num_nodes=graph.n,
+        num_edges=graph.num_edges,
+        directed=graph.directed,
+        num_components=components,
+        giant_fraction=giant / graph.n if graph.n else 0.0,
+        mean_degree=stats["mean"],
+        max_degree=stats["max"],
+        degree_p90=stats["p90"],
+        diameter=approximate_diameter(graph, seed=seed),
+        clustering=sampled_clustering_coefficient(graph, seed=seed),
+    )

@@ -1,0 +1,121 @@
+"""Construction of :class:`~repro.graph.csr.CSRGraph` from edge data.
+
+:func:`from_edges` is the canonical entry point used throughout the
+package: it accepts any ``(m, 2)``-shaped integer data (lists of pairs,
+numpy arrays, generators), cleans it (self-loops, duplicates), and emits
+a validated CSR graph.  :func:`from_adjacency` and
+:func:`from_networkx` cover the two other common sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .csr import CSRGraph
+
+__all__ = ["from_edges", "from_adjacency", "from_networkx", "empty_graph"]
+
+
+def from_edges(
+    edges,
+    n: int | None = None,
+    directed: bool = False,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs.
+
+    Parameters
+    ----------
+    edges:
+        Anything convertible to an ``(m, 2)`` integer array.  For
+        undirected graphs each edge may appear in either or both
+        orientations; it is symmetrized.
+    n:
+        Number of nodes.  Defaults to ``max node id + 1``.
+    directed:
+        Interpret pairs as arcs rather than undirected edges.
+    dedup:
+        Drop parallel edges (keeps the graph simple).
+    drop_self_loops:
+        Drop ``(v, v)`` pairs.  Self-loops never lie on a simple
+        shortest path between distinct nodes, so they are noise for
+        every algorithm in this package.
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError("edges must be an (m, 2) array of node pairs")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and arr.min() < 0:
+        raise GraphError("negative node ids are not allowed")
+
+    if n is None:
+        n = int(arr.max()) + 1 if arr.size else 0
+    elif arr.size and arr.max() >= n:
+        raise GraphError(f"edge endpoint {int(arr.max())} >= n={n}")
+
+    if drop_self_loops and arr.size:
+        arr = arr[arr[:, 0] != arr[:, 1]]
+
+    if not directed and arr.size:
+        # store both orientations; canonicalize before dedup
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        arr = np.column_stack([lo, hi])
+
+    if dedup and arr.size:
+        arr = np.unique(arr, axis=0)
+
+    if not directed and arr.size:
+        arr = np.vstack([arr, arr[:, ::-1]])
+
+    return _csr_from_arc_array(arr, n, directed)
+
+
+def from_adjacency(adjacency: dict, directed: bool = False, n: int | None = None) -> CSRGraph:
+    """Build a graph from a ``{node: iterable_of_neighbors}`` mapping.
+
+    Nodes absent from the mapping but referenced as neighbors are
+    included automatically.
+    """
+    pairs = [(u, v) for u, nbrs in adjacency.items() for v in nbrs]
+    if n is None:
+        ids = list(adjacency.keys()) + [v for _, v in pairs]
+        n = (max(ids) + 1) if ids else 0
+    return from_edges(pairs, n=n, directed=directed)
+
+
+def from_networkx(nx_graph) -> CSRGraph:
+    """Convert a networkx (Di)Graph whose nodes are ``0..n-1`` integers.
+
+    Only used by tests and examples for cross-validation; the core
+    library has no networkx dependency.
+    """
+    directed = nx_graph.is_directed()
+    n = nx_graph.number_of_nodes()
+    nodes = sorted(nx_graph.nodes())
+    if nodes != list(range(n)):
+        raise GraphError("networkx graph must be labeled 0..n-1; relabel first")
+    return from_edges(list(nx_graph.edges()), n=n, directed=directed)
+
+
+def empty_graph(n: int, directed: bool = False) -> CSRGraph:
+    """A graph with ``n`` nodes and no edges."""
+    return from_edges(np.empty((0, 2), dtype=np.int64), n=n, directed=directed)
+
+
+def _csr_from_arc_array(arcs: np.ndarray, n: int, directed: bool) -> CSRGraph:
+    """Counting-sort an arc array into CSR form."""
+    if arcs.size:
+        order = np.lexsort((arcs[:, 1], arcs[:, 0]))
+        arcs = arcs[order]
+        counts = np.bincount(arcs[:, 0], minlength=n)
+    else:
+        counts = np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = arcs[:, 1].astype(np.int32) if arcs.size else np.empty(0, dtype=np.int32)
+    return CSRGraph(indptr, indices, directed=directed)

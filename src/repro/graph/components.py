@@ -1,0 +1,146 @@
+"""Connectivity analysis: weak/strong components, giant component.
+
+Sampling-based GBC estimators behave best on (the giant component of)
+a connected graph — pairs in different components produce null samples
+that carry no information.  The experiment harness therefore extracts
+the giant (weakly connected) component of every dataset, exactly as the
+original SNAP preprocessing does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "giant_component",
+]
+
+
+def weakly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label array: ``labels[v]`` is the weak-component id of ``v``.
+
+    Component ids are contiguous, ordered by first-seen node.  Edge
+    direction is ignored (for undirected graphs weak == strong).
+    """
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    current = 0
+    for start in range(graph.n):
+        if labels[start] != -1:
+            continue
+        labels[start] = current
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            nbrs = _gather(graph.indptr, graph.indices, frontier)
+            if graph.directed:
+                nbrs = np.concatenate(
+                    [nbrs, _gather(graph.rev_indptr, graph.rev_indices, frontier)]
+                )
+            nbrs = nbrs[labels[nbrs] == -1]
+            if nbrs.size == 0:
+                break
+            nbrs = np.unique(nbrs)
+            labels[nbrs] = current
+            frontier = nbrs
+        current += 1
+    return labels
+
+
+def strongly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label array of strongly connected components (iterative Tarjan).
+
+    For undirected graphs this equals
+    :func:`weakly_connected_components`.
+    """
+    if not graph.directed:
+        return weakly_connected_components(graph)
+
+    n = graph.n
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    next_index = 0
+    next_label = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # iterative Tarjan: work items are (node, next-neighbor-offset)
+        work = [(root, 0)]
+        while work:
+            v, ptr = work[-1]
+            if ptr == 0:
+                index[v] = low[v] = next_index
+                next_index += 1
+                stack.append(v)
+                on_stack[v] = True
+            nbrs = graph.neighbors(v)
+            advanced = False
+            while ptr < nbrs.size:
+                w = int(nbrs[ptr])
+                ptr += 1
+                if index[w] == -1:
+                    work[-1] = (v, ptr)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    labels[w] = next_label
+                    if w == v:
+                        break
+                next_label += 1
+    # relabel so component ids follow first-seen node order
+    _, dense = np.unique(labels, return_inverse=True)
+    first_seen: dict[int, int] = {}
+    order = []
+    for v in range(n):
+        c = int(dense[v])
+        if c not in first_seen:
+            first_seen[c] = len(order)
+            order.append(c)
+    remap = np.zeros(len(order), dtype=np.int64)
+    for c, rank in first_seen.items():
+        remap[c] = rank
+    return remap[dense]
+
+
+def giant_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Extract the largest weakly connected component.
+
+    Returns ``(subgraph, nodes)`` where ``nodes[i]`` is the original id
+    of subgraph node ``i``.
+    """
+    labels = weakly_connected_components(graph)
+    if graph.n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    big = int(np.argmax(sizes))
+    nodes = np.flatnonzero(labels == big)
+    return graph.subgraph(nodes), nodes
+
+
+def _gather(indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """All neighbors (with multiplicity) of the frontier nodes."""
+    counts = indptr[frontier + 1] - indptr[frontier]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    offsets = np.repeat(indptr[frontier], counts)
+    shifts = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return indices[offsets + shifts]

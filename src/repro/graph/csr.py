@@ -1,0 +1,288 @@
+"""Immutable CSR (compressed sparse row) graph — the package substrate.
+
+Every algorithm in :mod:`repro` operates on :class:`CSRGraph`, a compact
+numpy-backed adjacency structure supporting both directed and undirected
+graphs.  Nodes are always the integers ``0 .. n-1``; callers with other
+node labels relabel once at construction time (see
+:func:`repro.graph.build.from_edges`).
+
+The structure is deliberately immutable: sampling algorithms hold on to
+a graph for many thousands of traversals, and immutability lets them
+share it freely across components without defensive copies.  Mutating
+operations (:meth:`CSRGraph.subgraph`, :meth:`CSRGraph.remove_nodes`,
+:meth:`CSRGraph.reverse`) return new graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """A graph in CSR form with O(1) access to neighbor slices.
+
+    Parameters
+    ----------
+    indptr, indices:
+        Out-adjacency in standard CSR layout: the out-neighbors of node
+        ``v`` are ``indices[indptr[v]:indptr[v+1]]``.
+    directed:
+        Whether edges are one-way.  For undirected graphs each edge
+        ``{u, v}`` must appear in both adjacency lists, and the reverse
+        adjacency aliases the forward one.
+    rev_indptr, rev_indices:
+        In-adjacency (required iff ``directed``); for undirected graphs
+        these are ignored and aliased to the forward arrays.
+
+    Notes
+    -----
+    Use :func:`repro.graph.build.from_edges` rather than calling this
+    constructor directly; it validates, deduplicates and symmetrizes
+    edge lists.
+    """
+
+    __slots__ = (
+        "n",
+        "directed",
+        "indptr",
+        "indices",
+        "rev_indptr",
+        "rev_indices",
+        "_num_edges",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        directed: bool = False,
+        rev_indptr: np.ndarray | None = None,
+        rev_indices: np.ndarray | None = None,
+    ):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise GraphError("indptr must be a non-empty 1-D array")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("indices contain node ids outside [0, n)")
+
+        self.n = n
+        self.directed = bool(directed)
+        self.indptr = indptr
+        self.indices = indices
+
+        if self.directed:
+            if rev_indptr is None or rev_indices is None:
+                rev_indptr, rev_indices = _transpose(indptr, indices, n)
+            rev_indptr = np.ascontiguousarray(rev_indptr, dtype=np.int64)
+            rev_indices = np.ascontiguousarray(rev_indices, dtype=np.int32)
+            if rev_indices.size != indices.size:
+                raise GraphError("reverse adjacency must have the same edge count")
+            self.rev_indptr = rev_indptr
+            self.rev_indices = rev_indices
+            self._num_edges = int(indices.size)
+        else:
+            self.rev_indptr = indptr
+            self.rev_indices = indices
+            if indices.size % 2:
+                raise GraphError(
+                    "undirected CSR must store each edge in both directions"
+                )
+            self._num_edges = int(indices.size) // 2
+
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self.rev_indptr.setflags(write=False)
+        self.rev_indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (undirected edges counted once)."""
+        return self._num_edges
+
+    @property
+    def num_ordered_pairs(self) -> int:
+        """``n * (n - 1)`` — the GBC normalization constant of the paper."""
+        return self.n * (self.n - 1)
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of node ``v`` (plain degree if undirected)."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of node ``v`` (plain degree if undirected)."""
+        return int(self.rev_indptr[v + 1] - self.rev_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of all in-degrees."""
+        return np.diff(self.rev_indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the out-neighbors of ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Read-only view of the in-neighbors of ``v``."""
+        return self.rev_indices[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``u -> v`` exists (either direction counts
+        as existing for undirected graphs)."""
+        return bool(np.any(self.neighbors(u) == v))
+
+    # ------------------------------------------------------------------
+    # iteration / export
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield edges as ``(u, v)`` pairs.
+
+        For undirected graphs each edge is yielded once with
+        ``u <= v``; for directed graphs every arc is yielded.
+        """
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                v = int(v)
+                if self.directed or u <= v:
+                    yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` int array (same convention as
+        :meth:`edges`)."""
+        src = np.repeat(np.arange(self.n, dtype=np.int32), self.out_degrees())
+        dst = self.indices
+        if self.directed:
+            return np.column_stack([src, dst])
+        keep = src <= dst
+        return np.column_stack([src[keep], dst[keep]])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The graph with every edge direction flipped.
+
+        For undirected graphs this returns ``self`` (reversal is a
+        no-op, and the structure is immutable so sharing is safe).
+        """
+        if not self.directed:
+            return self
+        return CSRGraph(
+            self.rev_indptr,
+            self.rev_indices,
+            directed=True,
+            rev_indptr=self.indptr,
+            rev_indices=self.indices,
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """An undirected copy in which ``{u, v}`` exists iff ``u -> v``
+        or ``v -> u`` existed."""
+        if not self.directed:
+            return self
+        from .build import from_edges  # local import avoids a cycle
+
+        return from_edges(self.edge_array(), n=self.n, directed=False)
+
+    def subgraph(self, nodes) -> "CSRGraph":
+        """The subgraph induced by ``nodes``, relabeled to ``0..k-1``.
+
+        ``nodes`` is any integer iterable; the relabeling follows the
+        sorted order of the unique node ids.
+        """
+        nodes = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.n):
+            raise GraphError("subgraph nodes outside [0, n)")
+        keep = np.zeros(self.n, dtype=bool)
+        keep[nodes] = True
+        relabel = np.full(self.n, -1, dtype=np.int64)
+        relabel[nodes] = np.arange(nodes.size)
+
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+        dst = self.indices.astype(np.int64)
+        mask = keep[src] & keep[dst]
+        edges = np.column_stack([relabel[src[mask]], relabel[dst[mask]]])
+        if not self.directed:
+            edges = edges[edges[:, 0] <= edges[:, 1]]
+        from .build import from_edges
+
+        return from_edges(edges, n=int(nodes.size), directed=self.directed)
+
+    def remove_nodes(self, nodes) -> "CSRGraph":
+        """The graph with ``nodes`` (and incident edges) removed but
+        **without relabeling**: removed nodes remain as isolated ids.
+
+        Keeping ids stable is what the exact-GBC avoid-set counting
+        needs (:mod:`repro.paths.exact_gbc`).
+        """
+        drop = np.zeros(self.n, dtype=bool)
+        node_list = np.asarray(list(nodes), dtype=np.int64)
+        if node_list.size and (node_list.min() < 0 or node_list.max() >= self.n):
+            raise GraphError("remove_nodes ids outside [0, n)")
+        drop[node_list] = True
+
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+        dst = self.indices.astype(np.int64)
+        mask = ~(drop[src] | drop[dst])
+        edges = np.column_stack([src[mask], dst[mask]])
+        if not self.directed:
+            edges = edges[edges[:, 0] <= edges[:, 1]]
+        from .build import from_edges
+
+        return from_edges(edges, n=self.n, directed=self.directed)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph(n={self.n}, m={self._num_edges}, {kind})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.directed == other.directed
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self):  # pragma: no cover - identity hashing only
+        return id(self)
+
+
+def _transpose(
+    indptr: np.ndarray, indices: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the reverse CSR adjacency (transpose of the adjacency
+    matrix) with a counting sort — O(n + m)."""
+    counts = np.bincount(indices, minlength=n)
+    rev_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=rev_indptr[1:])
+    src = np.repeat(np.arange(n, dtype=np.int32), np.diff(indptr))
+    order = np.argsort(indices, kind="stable")
+    rev_indices = src[order]
+    return rev_indptr, rev_indices

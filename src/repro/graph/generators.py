@@ -1,0 +1,395 @@
+"""Random and deterministic graph generators, implemented from scratch.
+
+The paper evaluates on SNAP social/citation networks plus two synthetic
+networks (Barabási–Albert and Watts–Strogatz, Table I).  This module
+provides seeded generators for those families and several deterministic
+topologies used heavily by the test suite (paths, stars, grids,
+complete graphs) where betweenness values are known in closed form.
+
+All generators return :class:`~repro.graph.csr.CSRGraph` and accept a
+``seed`` in any of the forms understood by :func:`repro._rng.as_generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_generator
+from ..exceptions import ParameterError
+from .build import from_edges
+
+__all__ = [
+    "barabasi_albert",
+    "watts_strogatz",
+    "erdos_renyi",
+    "powerlaw_cluster",
+    "random_directed",
+    "stochastic_block_model",
+    "community_chain",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "barbell_graph",
+    "binary_tree",
+]
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def barabasi_albert(n: int, m: int, seed=None):
+    """Barabási–Albert preferential attachment graph.
+
+    Starts from a star on ``m + 1`` nodes; each subsequent node attaches
+    to ``m`` distinct existing nodes chosen proportionally to degree
+    (implemented with the standard repeated-nodes urn).
+    """
+    if m < 1 or n <= m:
+        raise ParameterError(f"barabasi_albert requires 1 <= m < n, got n={n} m={m}")
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    # urn of endpoints: each occurrence of a node = one unit of degree
+    urn: list[int] = []
+    for v in range(1, m + 1):
+        edges.append((0, v))
+        urn.extend((0, v))
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            # mix uniform picks in occasionally to guarantee progress on
+            # pathological urns; BA standard is pure urn sampling
+            targets.add(int(urn[rng.integers(len(urn))]))
+        for t in targets:
+            edges.append((v, t))
+            urn.extend((v, t))
+    return from_edges(edges, n=n, directed=False)
+
+
+def watts_strogatz(n: int, k: int, p: float, seed=None):
+    """Watts–Strogatz small-world graph.
+
+    A ring lattice where every node connects to its ``k`` nearest
+    neighbors (``k`` even), with each edge rewired to a uniform random
+    endpoint with probability ``p``.
+    """
+    if k < 2 or k % 2 or k >= n:
+        raise ParameterError(f"watts_strogatz requires even 2 <= k < n, got k={k}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"rewire probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    existing: set[tuple[int, int]] = set()
+
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    for u in range(n):
+        for d in range(1, k // 2 + 1):
+            existing.add(_key(u, (u + d) % n))
+    edges = sorted(existing)
+    rewired: set[tuple[int, int]] = set(edges)
+    for u, v in edges:
+        if rng.random() >= p:
+            continue
+        rewired.discard(_key(u, v))
+        # rewire the (u, v) edge from u to a fresh endpoint
+        for _ in range(8 * n):
+            w = int(rng.integers(n))
+            if w != u and _key(u, w) not in rewired:
+                rewired.add(_key(u, w))
+                break
+        else:  # saturated neighborhood: keep the original edge
+            rewired.add(_key(u, v))
+    return from_edges(sorted(rewired), n=n, directed=False)
+
+
+def erdos_renyi(n: int, p: float, seed=None, directed: bool = False):
+    """G(n, p) Erdős–Rényi graph via geometric edge skipping (O(m))."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"edge probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    if p == 0.0 or n < 2:
+        return from_edges(np.empty((0, 2)), n=n, directed=directed)
+
+    total = n * n if directed else n * (n - 1) // 2
+    edges = []
+    idx = -1
+    if p == 1.0:
+        hits = np.arange(total)
+    else:
+        hits = []
+        while True:
+            # geometric gap between successive present edges
+            idx += int(rng.geometric(p))
+            if idx >= total:
+                break
+            hits.append(idx)
+        hits = np.asarray(hits, dtype=np.int64)
+    for h in hits:
+        if directed:
+            u, v = divmod(int(h), n)
+            if u != v:
+                edges.append((u, v))
+        else:
+            # enumerate upper-triangle pairs
+            u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * h)) // 2)
+            v = int(h - u * (2 * n - u - 1) // 2 + u + 1)
+            edges.append((u, v))
+    return from_edges(edges, n=n, directed=directed)
+
+
+def powerlaw_cluster(n: int, m: int, p: float, seed=None):
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert`, but after each preferential
+    attachment step a triangle is closed with probability ``p`` —
+    producing the community-rich heavy-tailed structure typical of
+    collaboration networks (our stand-in for GrQc/Coauthor/DBLP).
+    """
+    if m < 1 or n <= m:
+        raise ParameterError(f"powerlaw_cluster requires 1 <= m < n, got n={n} m={m}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"triad probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    edges: set[tuple[int, int]] = set()
+    urn: list[int] = []
+
+    def _add(u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = (u, v) if u < v else (v, u)
+        if key in edges:
+            return False
+        edges.add(key)
+        urn.extend(key)
+        return True
+
+    for v in range(1, m + 1):
+        _add(0, v)
+    adjacency: dict[int, list[int]] = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+
+    for v in range(m + 1, n):
+        added = 0
+        last_target = None
+        while added < m:
+            if last_target is not None and rng.random() < p:
+                # triad closure: attach to a neighbor of the last target
+                nbrs = adjacency.get(last_target, [])
+                candidate = int(nbrs[rng.integers(len(nbrs))]) if nbrs else None
+            else:
+                candidate = int(urn[rng.integers(len(urn))])
+            if candidate is None or not _add(v, candidate):
+                last_target = None
+                continue
+            adjacency.setdefault(v, []).append(candidate)
+            adjacency.setdefault(candidate, []).append(v)
+            last_target = candidate
+            added += 1
+    return from_edges(sorted(edges), n=n, directed=False)
+
+
+def random_directed(n: int, m: int, seed=None, hub_exponent: float = 1.0):
+    """A directed heavy-tailed graph with ``~m`` arcs.
+
+    Endpoints are drawn from a Zipf-like distribution with exponent
+    ``hub_exponent``, giving hub-and-spoke structure similar to
+    Twitter/Epinions-style follow graphs (our directed stand-in).
+    """
+    if n < 2 or m < 1:
+        raise ParameterError(f"random_directed requires n >= 2 and m >= 1")
+    rng = as_generator(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-hub_exponent)
+    weights /= weights.sum()
+    # over-sample then dedup, so the arc count lands near m
+    factor = 2
+    arcs = np.empty((0, 2), dtype=np.int64)
+    while arcs.shape[0] < m and factor <= 64:
+        src = rng.choice(n, size=factor * m, p=weights)
+        dst = rng.choice(n, size=factor * m, p=weights)
+        cand = np.column_stack([src, dst])
+        cand = cand[cand[:, 0] != cand[:, 1]]
+        arcs = np.unique(cand, axis=0)
+        factor *= 2
+    if arcs.shape[0] > m:
+        keep = rng.choice(arcs.shape[0], size=m, replace=False)
+        arcs = arcs[keep]
+    return from_edges(arcs, n=n, directed=True)
+
+
+def stochastic_block_model(sizes, p_matrix, seed=None):
+    """Stochastic block model: dense blocks, sparse cross-block edges.
+
+    Parameters
+    ----------
+    sizes:
+        Block sizes, e.g. ``[50, 50, 100]``.
+    p_matrix:
+        Symmetric matrix of edge probabilities; ``p_matrix[a][b]`` is
+        the probability of an edge between a node of block ``a`` and a
+        node of block ``b``.
+
+    The community structure makes individually-central nodes redundant
+    (they pile up on the same inter-block bottlenecks), which is the
+    regime where *group* betweenness differs most from top-K individual
+    betweenness — used by the misinformation example and the quality
+    ablations.
+    """
+    sizes = [int(s) for s in sizes]
+    blocks = len(sizes)
+    matrix = np.asarray(p_matrix, dtype=np.float64)
+    if matrix.shape != (blocks, blocks):
+        raise ParameterError(
+            f"p_matrix must be {blocks}x{blocks} to match {blocks} blocks"
+        )
+    if not np.allclose(matrix, matrix.T):
+        raise ParameterError("p_matrix must be symmetric")
+    if matrix.min() < 0.0 or matrix.max() > 1.0:
+        raise ParameterError("p_matrix entries must lie in [0, 1]")
+    if any(s < 1 for s in sizes):
+        raise ParameterError("all block sizes must be positive")
+
+    rng = as_generator(seed)
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(starts[-1])
+    edges: list[tuple[int, int]] = []
+    for a in range(blocks):
+        for b in range(a, blocks):
+            p = float(matrix[a, b])
+            if p == 0.0:
+                continue
+            rows = np.arange(starts[a], starts[a + 1])
+            cols = np.arange(starts[b], starts[b + 1])
+            mask = rng.random((rows.size, cols.size)) < p
+            if a == b:
+                mask = np.triu(mask, k=1)
+            src, dst = np.nonzero(mask)
+            edges.extend(zip(rows[src].tolist(), cols[dst].tolist()))
+    return from_edges(edges, n=n, directed=False)
+
+
+def community_chain(
+    num_communities: int = 4,
+    size: int = 70,
+    bridge: int = 3,
+    p: float = 0.15,
+    seed=None,
+):
+    """Dense ER communities chained together by short bridge paths.
+
+    Community ``c``'s last anchor node connects to community ``c+1``'s
+    first anchor through ``bridge`` fresh nodes.  All inter-community
+    traffic funnels through those bridges, giving them extreme
+    individual betweenness while a *group* needs only one node per
+    bridge — the canonical separation between node and group
+    centrality.
+    """
+    if num_communities < 2:
+        raise ParameterError("need at least two communities")
+    if size < 2 or bridge < 1:
+        raise ParameterError("size must be >= 2 and bridge >= 1")
+    if not 0.0 < p <= 1.0:
+        raise ParameterError("intra-community p must lie in (0, 1]")
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    offset = 0
+    anchors: list[tuple[int, int]] = []
+    for _ in range(num_communities):
+        nodes = range(offset, offset + size)
+        for i in nodes:
+            for j in range(i + 1, offset + size):
+                if rng.random() < p:
+                    edges.append((i, j))
+        anchors.append((offset, offset + size - 1))
+        offset += size
+    for c in range(num_communities - 1):
+        chain = (
+            [anchors[c][1]]
+            + list(range(offset, offset + bridge))
+            + [anchors[c + 1][0]]
+        )
+        offset += bridge
+        edges += list(zip(chain, chain[1:]))
+    return from_edges(edges, n=offset, directed=False)
+
+
+# ----------------------------------------------------------------------
+# deterministic topologies (closed-form betweenness; heavily used in tests)
+# ----------------------------------------------------------------------
+def path_graph(n: int, directed: bool = False):
+    """The path ``0 - 1 - ... - (n-1)``."""
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return from_edges(edges, n=n, directed=directed)
+
+
+def cycle_graph(n: int, directed: bool = False):
+    """The cycle on ``n`` nodes."""
+    if n < 3:
+        raise ParameterError("cycle needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return from_edges(edges, n=n, directed=directed)
+
+
+def star_graph(n: int):
+    """A star: node 0 is the hub, ``1..n-1`` are leaves."""
+    if n < 2:
+        raise ParameterError("star needs n >= 2")
+    return from_edges([(0, i) for i in range(1, n)], n=n, directed=False)
+
+
+def complete_graph(n: int, directed: bool = False):
+    """The complete graph ``K_n``."""
+    edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return from_edges(edges, n=n, directed=directed)
+
+
+def grid_graph(rows: int, cols: int):
+    """A ``rows x cols`` 4-neighbor lattice."""
+    if rows < 1 or cols < 1:
+        raise ParameterError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return from_edges(edges, n=rows * cols, directed=False)
+
+
+def barbell_graph(clique: int, bridge: int):
+    """Two ``K_clique`` cliques joined by a path of ``bridge`` nodes.
+
+    The bridge nodes have the highest betweenness in the graph, which
+    makes this topology ideal for sanity-checking top-K selection.
+    """
+    if clique < 3:
+        raise ParameterError("barbell needs clique size >= 3")
+    n = 2 * clique + bridge
+    edges = []
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            edges.append((u, v))
+    offset = clique + bridge
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            edges.append((offset + u, offset + v))
+    chain = [clique - 1] + list(range(clique, clique + bridge)) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return from_edges(edges, n=n, directed=False)
+
+
+def binary_tree(depth: int):
+    """A complete binary tree of the given depth (root = node 0)."""
+    if depth < 0:
+        raise ParameterError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    edges = [(v, 2 * v + 1) for v in range(n) if 2 * v + 1 < n]
+    edges += [(v, 2 * v + 2) for v in range(n) if 2 * v + 2 < n]
+    return from_edges(edges, n=n, directed=False)

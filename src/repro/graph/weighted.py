@@ -1,0 +1,229 @@
+"""Integer-weighted graphs — the substrate for the weighted extension.
+
+The paper treats unweighted shortest paths (hop counts).  This module
+extends the package to graphs with **positive integer edge lengths**, a
+deliberate design restriction: integer distances compare exactly, so
+every piece of shortest-path machinery (sigma counting, avoid-set
+equality tests, uniform path sampling) carries over without the
+floating-point-equality pitfalls of real-weighted Dijkstra.
+
+:class:`WeightedCSRGraph` subclasses :class:`~repro.graph.csr.CSRGraph`
+with a ``weights`` array aligned to ``indices`` (and ``rev_weights``
+aligned to the reverse adjacency), so unweighted algorithms still run
+on it (treating every edge as one hop) while
+:mod:`repro.paths.dijkstra` and the weighted sampler use the lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .csr import CSRGraph
+
+__all__ = ["WeightedCSRGraph", "from_weighted_edges"]
+
+
+class WeightedCSRGraph(CSRGraph):
+    """A CSR graph whose arcs carry positive integer lengths.
+
+    ``weights[i]`` is the length of the arc ``indices[i]`` (same layout
+    as the adjacency); ``rev_weights`` mirrors the reverse adjacency.
+    Use :func:`from_weighted_edges` to construct.
+    """
+
+    __slots__ = ("weights", "rev_weights")
+
+    def __init__(
+        self,
+        indptr,
+        indices,
+        weights,
+        directed=False,
+        rev_indptr=None,
+        rev_indices=None,
+        rev_weights=None,
+    ):
+        super().__init__(
+            indptr,
+            indices,
+            directed=directed,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+        )
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        if weights.shape != self.indices.shape:
+            raise GraphError("weights must align with the adjacency indices")
+        if weights.size and weights.min() < 1:
+            raise GraphError("edge weights must be positive integers")
+        self.weights = weights
+        if self.directed:
+            if rev_weights is None:
+                rev_weights = _transpose_weights(
+                    self.indptr, self.indices, weights, self.n
+                )
+            rev_weights = np.ascontiguousarray(rev_weights, dtype=np.int64)
+            if rev_weights.shape != self.rev_indices.shape:
+                raise GraphError("rev_weights must align with the reverse adjacency")
+            self.rev_weights = rev_weights
+        else:
+            self.rev_weights = self.weights
+        self.weights.setflags(write=False)
+        self.rev_weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Lengths of the out-arcs of ``v`` (aligned with ``neighbors``)."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def predecessor_weights(self, v: int) -> np.ndarray:
+        """Lengths of the in-arcs of ``v`` (aligned with ``predecessors``)."""
+        return self.rev_weights[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+
+    def weighted_edges(self):
+        """Yield ``(u, v, w)`` triples (undirected edges once, u <= v)."""
+        for u in range(self.n):
+            start = self.indptr[u]
+            for offset, v in enumerate(self.neighbors(u)):
+                v = int(v)
+                if self.directed or u <= v:
+                    yield (u, v, int(self.weights[start + offset]))
+
+    def to_unweighted(self) -> CSRGraph:
+        """The same topology with the lengths dropped."""
+        return CSRGraph(
+            self.indptr,
+            self.indices,
+            directed=self.directed,
+            rev_indptr=self.rev_indptr if self.directed else None,
+            rev_indices=self.rev_indices if self.directed else None,
+        )
+
+    # derived graphs rebuild through the weighted constructor ------------
+    def reverse(self) -> "WeightedCSRGraph":
+        if not self.directed:
+            return self
+        return WeightedCSRGraph(
+            self.rev_indptr,
+            self.rev_indices,
+            self.rev_weights,
+            directed=True,
+            rev_indptr=self.indptr,
+            rev_indices=self.indices,
+            rev_weights=self.weights,
+        )
+
+    def remove_nodes(self, nodes) -> "WeightedCSRGraph":
+        drop = np.zeros(self.n, dtype=bool)
+        node_list = np.asarray(list(nodes), dtype=np.int64)
+        if node_list.size and (node_list.min() < 0 or node_list.max() >= self.n):
+            raise GraphError("remove_nodes ids outside [0, n)")
+        drop[node_list] = True
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+        dst = self.indices.astype(np.int64)
+        keep = ~(drop[src] | drop[dst])
+        triples = np.column_stack([src[keep], dst[keep], self.weights[keep]])
+        if not self.directed:
+            triples = triples[triples[:, 0] <= triples[:, 1]]
+        return from_weighted_edges(triples, n=self.n, directed=self.directed)
+
+    def subgraph(self, nodes) -> "WeightedCSRGraph":
+        nodes = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.n):
+            raise GraphError("subgraph nodes outside [0, n)")
+        keep = np.zeros(self.n, dtype=bool)
+        keep[nodes] = True
+        relabel = np.full(self.n, -1, dtype=np.int64)
+        relabel[nodes] = np.arange(nodes.size)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+        dst = self.indices.astype(np.int64)
+        mask = keep[src] & keep[dst]
+        triples = np.column_stack(
+            [relabel[src[mask]], relabel[dst[mask]], self.weights[mask]]
+        )
+        if not self.directed:
+            triples = triples[triples[:, 0] <= triples[:, 1]]
+        return from_weighted_edges(
+            triples, n=int(nodes.size), directed=self.directed
+        )
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"WeightedCSRGraph(n={self.n}, m={self.num_edges}, {kind})"
+
+    def __eq__(self, other):
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        if not isinstance(other, WeightedCSRGraph):
+            return False
+        return np.array_equal(self.weights, other.weights)
+
+    def __hash__(self):  # pragma: no cover - identity hashing only
+        return id(self)
+
+
+def from_weighted_edges(
+    triples, n: int | None = None, directed: bool = False
+) -> WeightedCSRGraph:
+    """Build a weighted graph from ``(u, v, weight)`` triples.
+
+    Self-loops are dropped; duplicate edges keep the **smallest**
+    weight (parallel edges cannot both lie on shortest paths).  For
+    undirected graphs each triple may appear in either orientation.
+    """
+    arr = np.asarray(
+        list(triples) if not isinstance(triples, np.ndarray) else triples
+    )
+    if arr.size == 0:
+        arr = arr.reshape(0, 3)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise GraphError("weighted edges must be (m, 3) triples (u, v, w)")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and arr[:, :2].min() < 0:
+        raise GraphError("negative node ids are not allowed")
+    if arr.size and arr[:, 2].min() < 1:
+        raise GraphError("edge weights must be positive integers")
+
+    if n is None:
+        n = int(arr[:, :2].max()) + 1 if arr.size else 0
+    elif arr.size and arr[:, :2].max() >= n:
+        raise GraphError(f"edge endpoint {int(arr[:, :2].max())} >= n={n}")
+
+    if arr.size:
+        arr = arr[arr[:, 0] != arr[:, 1]]
+
+    if not directed and arr.size:
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        arr = np.column_stack([lo, hi, arr[:, 2]])
+
+    if arr.size:
+        # sort by (u, v, w) then keep the first (smallest-w) per pair
+        order = np.lexsort((arr[:, 2], arr[:, 1], arr[:, 0]))
+        arr = arr[order]
+        pair_change = np.ones(arr.shape[0], dtype=bool)
+        pair_change[1:] = np.any(arr[1:, :2] != arr[:-1, :2], axis=1)
+        arr = arr[pair_change]
+
+    if not directed and arr.size:
+        arr = np.vstack([arr, arr[:, [1, 0, 2]]])
+
+    if arr.size:
+        order = np.lexsort((arr[:, 1], arr[:, 0]))
+        arr = arr[order]
+        counts = np.bincount(arr[:, 0], minlength=n)
+    else:
+        counts = np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = arr[:, 1].astype(np.int32) if arr.size else np.empty(0, dtype=np.int32)
+    weights = arr[:, 2] if arr.size else np.empty(0, dtype=np.int64)
+    return WeightedCSRGraph(indptr, indices, weights, directed=directed)
+
+
+def _transpose_weights(indptr, indices, weights, n):
+    """Weights permuted to match the reverse adjacency built by
+    :func:`repro.graph.csr._transpose` (stable sort by destination)."""
+    order = np.argsort(indices, kind="stable")
+    return weights[order]

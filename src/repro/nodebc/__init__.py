@@ -1,0 +1,19 @@
+"""Node betweenness centrality approximation (paper Sec. II lineage)."""
+
+from .estimator import (
+    BCEstimate,
+    adaptive_betweenness,
+    approx_betweenness,
+    rk_sample_size,
+    top_k_nodes,
+    vertex_diameter_upper_bound,
+)
+
+__all__ = [
+    "BCEstimate",
+    "approx_betweenness",
+    "adaptive_betweenness",
+    "rk_sample_size",
+    "top_k_nodes",
+    "vertex_diameter_upper_bound",
+]

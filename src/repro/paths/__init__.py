@@ -1,0 +1,28 @@
+"""Shortest-path machinery: BFS, bidirectional search, sampling, exact BC/GBC."""
+
+from .allpairs import all_pairs_sigma
+from .bfs import bfs_distances, bfs_sigma
+from .bidirectional import BidirectionalResult, bidirectional_sigma
+from .brandes import betweenness_centrality
+from .dijkstra import dijkstra_sigma, weighted_distances
+from .exact_gbc import exact_gbc, normalized_gbc
+from .pair_sampler import PairSample, PairSampler, shortest_path_dag
+from .sampler import PathSample, PathSampler
+
+__all__ = [
+    "bfs_distances",
+    "bfs_sigma",
+    "dijkstra_sigma",
+    "weighted_distances",
+    "BidirectionalResult",
+    "bidirectional_sigma",
+    "betweenness_centrality",
+    "all_pairs_sigma",
+    "exact_gbc",
+    "normalized_gbc",
+    "PathSample",
+    "PairSample",
+    "PairSampler",
+    "shortest_path_dag",
+    "PathSampler",
+]

@@ -1,0 +1,31 @@
+"""Single-source shortest-path dispatch: BFS for hop counts, Dijkstra
+for integer-weighted graphs.
+
+Modules that are agnostic to the metric (exact GBC, Brandes, the
+sampler's reconstruction walks) call :func:`shortest_path_counts` and
+get the right engine for the graph they were handed.
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from ..graph.weighted import WeightedCSRGraph
+from .bfs import bfs_sigma
+from .dijkstra import dijkstra_sigma
+
+__all__ = ["shortest_path_counts", "is_weighted"]
+
+
+def is_weighted(graph: CSRGraph) -> bool:
+    """Whether ``graph`` carries integer edge lengths."""
+    return isinstance(graph, WeightedCSRGraph)
+
+
+def shortest_path_counts(
+    graph: CSRGraph, source: int, reverse: bool = False, target: int | None = None
+):
+    """``(dist, sigma)`` from the engine matching the graph type."""
+    if is_weighted(graph):
+        dist, sigma, _ = dijkstra_sigma(graph, source, reverse=reverse, target=target)
+        return dist, sigma
+    return bfs_sigma(graph, source, reverse=reverse, target=target)

@@ -1,0 +1,41 @@
+"""All-pairs shortest-path distances and path counts.
+
+The Puzis exact greedy algorithm (:mod:`repro.algorithms.puzis`) works
+on the full ``n x n`` distance and sigma matrices; this module builds
+them with ``n`` vectorized BFS runs.  Memory is O(n^2), so this is only
+for the small graphs where the exact algorithm is usable anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..graph.csr import CSRGraph
+from .bfs import bfs_sigma
+
+__all__ = ["all_pairs_sigma"]
+
+_MAX_NODES = 5000
+
+
+def all_pairs_sigma(graph: CSRGraph, max_nodes: int = _MAX_NODES):
+    """Return ``(dist, sigma)`` matrices of shape ``(n, n)``.
+
+    ``dist[s, t]`` is the hop distance (``-1`` if unreachable) and
+    ``sigma[s, t]`` the number of shortest s→t paths (``sigma[s, s] = 1``
+    by the paper's convention).  Guarded by ``max_nodes`` because the
+    output is dense.
+    """
+    if graph.n > max_nodes:
+        raise GraphError(
+            f"all_pairs_sigma is O(n^2) memory; n={graph.n} exceeds {max_nodes}"
+        )
+    n = graph.n
+    dist = np.empty((n, n), dtype=np.int64)
+    sigma = np.empty((n, n), dtype=np.float64)
+    for s in range(n):
+        d, sg = bfs_sigma(graph, s)
+        dist[s] = d
+        sigma[s] = sg
+    return dist, sigma

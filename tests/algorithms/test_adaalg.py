@@ -1,0 +1,119 @@
+"""Unit tests for AdaAlg (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import AdaAlg
+from repro.graph import barbell_graph, erdos_renyi, star_graph
+from repro.paths import exact_gbc
+
+
+class TestMechanics:
+    def test_returns_exactly_k_nodes(self):
+        g = erdos_renyi(60, 0.1, seed=0)
+        result = AdaAlg(eps=0.3, seed=1).run(g, 5)
+        assert len(result.group) == 5
+        assert len(set(result.group)) == 5
+
+    def test_star_hub_found(self):
+        g = star_graph(40)
+        result = AdaAlg(eps=0.3, seed=2).run(g, 1)
+        assert result.group == [0]
+        assert result.converged
+
+    def test_barbell_bridge_nodes_found(self, barbell):
+        result = AdaAlg(eps=0.2, seed=3).run(barbell, 3)
+        # the three bridge nodes (5, 6, 7) dominate all cross traffic;
+        # at least two of the picks should be bridge or connector nodes
+        central = {4, 5, 6, 7, 8}
+        assert len(central.intersection(result.group)) >= 2
+
+    def test_trace_recorded(self):
+        g = erdos_renyi(50, 0.12, seed=4)
+        result = AdaAlg(eps=0.3, seed=5).run(g, 4)
+        trace = result.diagnostics["trace"]
+        assert len(trace) == result.iterations
+        assert trace[0].q == 1
+        # guesses decrease geometrically by the configured base
+        base = result.diagnostics["base"]
+        for a, b in zip(trace, trace[1:]):
+            assert b.guess == pytest.approx(a.guess / base)
+
+    def test_sample_sets_grow_geometrically(self):
+        g = erdos_renyi(50, 0.12, seed=6)
+        result = AdaAlg(eps=0.3, seed=7).run(g, 4)
+        trace = result.diagnostics["trace"]
+        theta = result.diagnostics["theta"]
+        base = result.diagnostics["base"]
+        for entry in trace:
+            expected = 2 * math.ceil(theta * base**entry.q)
+            assert entry.samples == expected
+
+    def test_cnt_monotone_in_trace(self):
+        g = erdos_renyi(50, 0.12, seed=8)
+        result = AdaAlg(eps=0.3, seed=9).run(g, 4)
+        counts = [entry.cnt for entry in result.diagnostics["trace"]]
+        assert counts == sorted(counts)
+
+    def test_stop_requires_cnt_at_least_two(self):
+        g = erdos_renyi(50, 0.12, seed=10)
+        result = AdaAlg(eps=0.3, seed=11).run(g, 4)
+        if result.converged:
+            assert result.diagnostics["cnt"] >= 2
+            last = result.diagnostics["trace"][-1]
+            assert last.eps_sum is not None
+            assert last.eps_sum <= 0.3
+
+    def test_unbiased_estimate_reported(self):
+        g = erdos_renyi(50, 0.12, seed=12)
+        result = AdaAlg(eps=0.3, seed=13).run(g, 4)
+        assert result.estimate_unbiased is not None
+        assert result.estimate_unbiased > 0
+
+    def test_reproducible(self):
+        g = erdos_renyi(60, 0.1, seed=14)
+        a = AdaAlg(eps=0.3, seed=99).run(g, 5)
+        b = AdaAlg(eps=0.3, seed=99).run(g, 5)
+        assert a.group == b.group
+        assert a.num_samples == b.num_samples
+
+    def test_max_samples_cap(self):
+        g = erdos_renyi(60, 0.1, seed=15)
+        result = AdaAlg(eps=0.3, seed=16, max_samples=10).run(g, 5)
+        assert not result.converged
+        assert result.num_samples == 0
+
+    def test_smaller_eps_needs_more_samples(self):
+        g = erdos_renyi(80, 0.08, seed=17)
+        loose = AdaAlg(eps=0.5, seed=18).run(g, 5).num_samples
+        tight = AdaAlg(eps=0.15, seed=18).run(g, 5).num_samples
+        assert tight > loose
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_estimate_close_to_exact(self, seed):
+        g = erdos_renyi(70, 0.1, seed=seed)
+        result = AdaAlg(eps=0.3, seed=seed + 40).run(g, 6)
+        exact = exact_gbc(g, result.group)
+        # the unbiased estimate should be within ~15% of the exact value
+        assert result.estimate_unbiased == pytest.approx(exact, rel=0.15)
+
+    def test_validation_set_ablation_halves_samples(self):
+        """Without the T set, only S is sampled (beta = 0 identically)."""
+        g = erdos_renyi(60, 0.1, seed=60)
+        full = AdaAlg(eps=0.3, seed=61).run(g, 5)
+        no_t = AdaAlg(eps=0.3, seed=61, validation_set=False).run(g, 5)
+        assert no_t.num_samples < full.num_samples
+        assert no_t.estimate_unbiased == no_t.estimate
+        if no_t.converged:
+            last = no_t.diagnostics["trace"][-1]
+            assert last.beta == 0.0
+
+    def test_endpoint_convention_matters(self):
+        """Excluding endpoints yields a different (smaller) estimate."""
+        g = barbell_graph(6, 2)
+        with_ep = AdaAlg(eps=0.3, seed=50).run(g, 2)
+        without_ep = AdaAlg(eps=0.3, seed=50, include_endpoints=False).run(g, 2)
+        assert without_ep.estimate < with_ep.estimate

@@ -1,0 +1,89 @@
+"""Unit tests for the algorithm base plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AdaAlg, GBCResult
+from repro.algorithms.base import SamplingAlgorithm
+from repro.exceptions import ParameterError
+from repro.graph import path_graph
+from repro.paths.sampler import PathSample
+
+
+class TestGBCResult:
+    def test_k_property(self):
+        result = GBCResult(algorithm="x", group=[1, 2, 3], estimate=5.0)
+        assert result.k == 3
+
+    def test_normalized_estimate(self, path5):
+        result = GBCResult(algorithm="x", group=[0], estimate=10.0)
+        assert result.normalized_estimate(path5) == pytest.approx(0.5)
+
+    def test_defaults(self):
+        result = GBCResult(algorithm="x", group=[], estimate=0.0)
+        assert result.converged
+        assert result.estimate_unbiased is None
+        assert result.diagnostics == {}
+
+
+class TestValidation:
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ParameterError):
+            AdaAlg(seed=0).run(path_graph(1), 1)
+
+    def test_k_zero_rejected(self, path5):
+        with pytest.raises(ParameterError):
+            AdaAlg(seed=0).run(path5, 0)
+
+    def test_k_above_n_rejected(self, path5):
+        with pytest.raises(ParameterError):
+            AdaAlg(seed=0).run(path5, 6)
+
+    def test_eps_validation(self):
+        with pytest.raises(ParameterError):
+            AdaAlg(eps=1.5)
+        with pytest.raises(ValueError):
+            AdaAlg(eps=0.65)  # above 1 - 1/e
+
+    def test_gamma_validation(self):
+        with pytest.raises(ParameterError):
+            AdaAlg(gamma=0.0)
+
+
+class TestEndpointSlicing:
+    class _Probe(SamplingAlgorithm):
+        name = "probe"
+
+        def run(self, graph, k):  # pragma: no cover - not used
+            raise NotImplementedError
+
+    def _sample(self, nodes):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return PathSample(
+            source=int(nodes[0]) if nodes.size else 0,
+            target=int(nodes[-1]) if nodes.size else 1,
+            nodes=nodes,
+            distance=nodes.size - 1,
+            sigma_st=1.0,
+            edges_explored=0,
+        )
+
+    def test_endpoints_included_by_default(self):
+        probe = self._Probe(seed=0)
+        nodes = probe._coverage_nodes(self._sample([3, 4, 5]))
+        assert list(nodes) == [3, 4, 5]
+
+    def test_endpoints_stripped(self):
+        probe = self._Probe(include_endpoints=False, seed=0)
+        nodes = probe._coverage_nodes(self._sample([3, 4, 5]))
+        assert list(nodes) == [4]
+
+    def test_two_node_path_strips_to_nothing(self):
+        probe = self._Probe(include_endpoints=False, seed=0)
+        nodes = probe._coverage_nodes(self._sample([3, 4]))
+        assert nodes.size == 0
+
+    def test_null_sample_passthrough(self):
+        probe = self._Probe(include_endpoints=False, seed=0)
+        nodes = probe._coverage_nodes(self._sample([]))
+        assert nodes.size == 0

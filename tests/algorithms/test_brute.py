@@ -1,0 +1,57 @@
+"""Unit tests for the brute-force optimum."""
+
+import pytest
+
+from repro.algorithms import BruteForce, PuzisGreedy
+from repro.exceptions import ParameterError
+from repro.graph import erdos_renyi, path_graph, star_graph
+from repro.paths import exact_gbc
+
+
+class TestBruteForce:
+    def test_star_k1(self):
+        g = star_graph(10)
+        result = BruteForce().run(g, 1)
+        assert result.group == [0]
+        assert result.estimate == g.num_ordered_pairs
+
+    def test_path_k1(self):
+        g = path_graph(7)
+        result = BruteForce().run(g, 1)
+        assert result.group == [3]
+
+    def test_value_matches_exact_gbc(self):
+        g = erdos_renyi(12, 0.25, seed=0)
+        result = BruteForce().run(g, 2)
+        assert result.estimate == pytest.approx(exact_gbc(g, result.group))
+
+    def test_optimum_dominates_every_subset(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        result = BruteForce().run(g, 2)
+        from itertools import combinations
+
+        for combo in combinations(range(10), 2):
+            assert result.estimate >= exact_gbc(g, combo) - 1e-9
+
+    def test_iterations_counts_subsets(self):
+        import math
+
+        g = erdos_renyi(9, 0.3, seed=2)
+        result = BruteForce().run(g, 3)
+        assert result.iterations == math.comb(9, 3)
+
+    def test_subset_guard(self):
+        g = erdos_renyi(30, 0.1, seed=3)
+        with pytest.raises(ParameterError):
+            BruteForce(max_subsets=100).run(g, 5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_puzis_achieves_greedy_guarantee(self, seed):
+        """Exact greedy reaches (1 - 1/e) of the true optimum."""
+        import math
+
+        g = erdos_renyi(12, 0.25, seed=seed + 10)
+        opt = BruteForce().run(g, 3).estimate
+        greedy = PuzisGreedy().run(g, 3).estimate
+        assert greedy >= (1 - 1 / math.e) * opt - 1e-9
+        assert greedy <= opt + 1e-9

@@ -1,0 +1,62 @@
+"""Unit tests for the CentRa baseline."""
+
+import pytest
+
+from repro.algorithms import CentRa, Hedge
+from repro.graph import erdos_renyi
+
+
+class TestCentRa:
+    def test_returns_k_nodes(self):
+        g = erdos_renyi(50, 0.12, seed=0)
+        result = CentRa(eps=0.4, seed=1).run(g, 4)
+        assert len(result.group) == 4
+        assert result.algorithm == "CentRa"
+
+    def test_fewer_samples_than_hedge(self):
+        """The paper's ordering on any given graph."""
+        g = erdos_renyi(100, 0.07, seed=2)
+        hedge = Hedge(eps=0.3, seed=3).run(g, 10).num_samples
+        centra = CentRa(eps=0.3, seed=3).run(g, 10).num_samples
+        assert centra < hedge
+
+    def test_converges(self):
+        g = erdos_renyi(50, 0.15, seed=4)
+        assert CentRa(eps=0.4, seed=5).run(g, 3).converged
+
+    def test_reproducible(self):
+        g = erdos_renyi(50, 0.12, seed=6)
+        a = CentRa(eps=0.4, seed=7).run(g, 3)
+        b = CentRa(eps=0.4, seed=7).run(g, 3)
+        assert a.group == b.group
+
+    def test_max_samples_cap(self):
+        g = erdos_renyi(50, 0.12, seed=8)
+        result = CentRa(eps=0.3, seed=9, max_samples=30).run(g, 3)
+        assert not result.converged
+
+
+class TestEmpiricalStop:
+    def test_runs_and_flags_diagnostics(self):
+        g = erdos_renyi(40, 0.15, seed=10)
+        result = CentRa(eps=0.4, seed=11, empirical_stop=True, era_draws=4).run(g, 3)
+        assert result.diagnostics.get("empirical_stop")
+        assert len(result.group) == 3
+
+    def test_no_more_samples_than_analytic(self):
+        """The ERA early stop can only shorten the run (up to the small
+        ln 2 inflation from splitting gamma with the ERA bound)."""
+        g = erdos_renyi(60, 0.1, seed=12)
+        analytic = CentRa(eps=0.3, seed=13).run(g, 5)
+        empirical = CentRa(eps=0.3, seed=13, empirical_stop=True, era_draws=4).run(
+            g, 5
+        )
+        assert empirical.num_samples <= 1.1 * analytic.num_samples
+
+    def test_quality_still_reasonable(self):
+        from repro.paths import exact_gbc
+
+        g = erdos_renyi(50, 0.12, seed=14)
+        result = CentRa(eps=0.4, seed=15, empirical_stop=True, era_draws=4).run(g, 4)
+        exact = exact_gbc(g, result.group)
+        assert exact > 0

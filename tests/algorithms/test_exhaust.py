@@ -1,0 +1,38 @@
+"""Unit tests for the EXHAUST reference."""
+
+from repro.algorithms import Exhaust
+from repro.graph import erdos_renyi, star_graph
+from repro.paths import exact_gbc
+
+
+class TestExhaust:
+    def test_fixed_budget_used_exactly(self):
+        g = erdos_renyi(40, 0.15, seed=0)
+        result = Exhaust(num_samples=2000, seed=1).run(g, 3)
+        assert result.num_samples == 2000
+        assert result.converged
+        assert result.diagnostics["fixed_budget"]
+
+    def test_star_hub(self):
+        g = star_graph(25)
+        result = Exhaust(num_samples=1500, seed=2).run(g, 1)
+        assert result.group == [0]
+
+    def test_near_greedy_quality(self):
+        """EXHAUST at a generous budget lands within a few percent of a
+        much larger-budget run — the yardstick is stable."""
+        g = erdos_renyi(60, 0.1, seed=3)
+        small = Exhaust(num_samples=4000, seed=4).run(g, 5)
+        large = Exhaust(num_samples=20000, seed=5).run(g, 5)
+        q_small = exact_gbc(g, small.group)
+        q_large = exact_gbc(g, large.group)
+        assert q_small >= 0.95 * q_large
+
+    def test_faithful_mode_available(self):
+        """num_samples=None falls back to the HEDGE schedule."""
+        g = erdos_renyi(30, 0.2, seed=6)
+        result = Exhaust(
+            num_samples=None, eps=0.5, gamma=0.1, seed=7, max_samples=100_000
+        ).run(g, 2)
+        assert result.algorithm == "EXHAUST"
+        assert result.num_samples > 0

@@ -1,0 +1,84 @@
+"""End-to-end approximation-guarantee tests.
+
+The paper's Theorem 1: each sampling algorithm returns a
+``(1 - 1/e - eps)``-approximation with probability ``1 - gamma``.
+With ``gamma = 0.01`` and a handful of seeds, *every* run should meet
+the bound (a single failure has probability well under 5%, and the
+seeds are fixed so the test is deterministic).
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import AdaAlg, BruteForce, CentRa, Hedge
+from repro.graph import erdos_renyi, powerlaw_cluster
+from repro.paths import exact_gbc
+
+_EULER = 1 - 1 / math.e
+
+
+def _check_guarantee(algorithm_factory, graph, k, eps):
+    opt = BruteForce().run(graph, k).estimate
+    result = algorithm_factory().run(graph, k)
+    achieved = exact_gbc(graph, result.group)
+    assert achieved >= (_EULER - eps) * opt - 1e-9, (
+        f"{result.algorithm}: achieved {achieved:.2f} < "
+        f"(1-1/e-{eps}) * {opt:.2f}"
+    )
+    return achieved / opt
+
+
+class TestApproximationGuarantees:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_adaalg_meets_bound(self, seed):
+        g = erdos_renyi(14, 0.25, seed=seed)
+        ratio = _check_guarantee(
+            lambda: AdaAlg(eps=0.3, gamma=0.01, seed=seed + 100), g, 3, 0.3
+        )
+        assert ratio <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hedge_meets_bound(self, seed):
+        g = erdos_renyi(14, 0.25, seed=seed + 20)
+        _check_guarantee(
+            lambda: Hedge(eps=0.4, gamma=0.01, seed=seed + 200), g, 3, 0.4
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_centra_meets_bound(self, seed):
+        g = erdos_renyi(14, 0.25, seed=seed + 40)
+        _check_guarantee(
+            lambda: CentRa(eps=0.4, gamma=0.01, seed=seed + 300), g, 3, 0.4
+        )
+
+    def test_adaalg_on_heavy_tailed_graph(self):
+        g = powerlaw_cluster(16, 2, 0.3, seed=5)
+        _check_guarantee(lambda: AdaAlg(eps=0.3, gamma=0.01, seed=500), g, 3, 0.3)
+
+    def test_adaalg_small_eps_tight(self):
+        """A tighter eps still meets its (tighter) bound."""
+        g = erdos_renyi(12, 0.3, seed=9)
+        _check_guarantee(lambda: AdaAlg(eps=0.15, gamma=0.01, seed=600), g, 2, 0.15)
+
+
+class TestEmpiricalQualityClaim:
+    def test_adaalg_within_paper_band_of_exhaust(self):
+        """Paper Sec. VI-C: AdaAlg's quality is >= ~90% of EXHAUST's."""
+        from repro.algorithms import Exhaust
+
+        g = powerlaw_cluster(120, 2, 0.3, seed=11)
+        exhaust = Exhaust(num_samples=20000, seed=700).run(g, 8)
+        ada = AdaAlg(eps=0.3, gamma=0.01, seed=701).run(g, 8)
+        q_ex = exact_gbc(g, exhaust.group)
+        q_ada = exact_gbc(g, ada.group)
+        assert q_ada >= 0.88 * q_ex
+
+    def test_adaalg_uses_fewer_samples_than_baselines(self):
+        """Paper Sec. VI-D: AdaAlg samples less than HEDGE and CentRa."""
+        g = powerlaw_cluster(200, 3, 0.3, seed=12)
+        k, eps = 15, 0.3
+        ada = AdaAlg(eps=eps, seed=800).run(g, k).num_samples
+        hedge = Hedge(eps=eps, seed=801).run(g, k).num_samples
+        centra = CentRa(eps=eps, seed=802).run(g, k).num_samples
+        assert ada < centra < hedge

@@ -1,0 +1,56 @@
+"""Unit tests for the heuristic baselines."""
+
+import pytest
+
+from repro.algorithms import TopBetweenness, TopDegree
+from repro.graph import barbell_graph, community_chain, random_directed, star_graph
+from repro.paths import exact_gbc
+
+
+class TestTopDegree:
+    def test_star_hub(self):
+        result = TopDegree().run(star_graph(20), 1)
+        assert result.group == [0]
+
+    def test_returns_k_nodes(self):
+        result = TopDegree().run(barbell_graph(5, 3), 4)
+        assert len(result.group) == 4
+
+    def test_directed_uses_total_degree(self):
+        g = random_directed(50, 300, seed=0)
+        result = TopDegree().run(g, 3)
+        totals = [g.out_degree(v) + g.in_degree(v) for v in range(g.n)]
+        best = max(totals)
+        assert totals[result.group[0]] == best
+
+    def test_misses_bridges(self):
+        """Degree ranking ignores the low-degree bridge bottleneck."""
+        g = community_chain(num_communities=2, size=30, bridge=3, p=0.3, seed=1)
+        result = TopDegree().run(g, 3)
+        bridges = {60, 61, 62}
+        assert not bridges.intersection(result.group)
+
+
+class TestTopBetweenness:
+    def test_exact_mode_barbell(self):
+        result = TopBetweenness(exact=True).run(barbell_graph(5, 3), 3)
+        assert set(result.group) == {5, 6, 7}
+        assert result.num_samples == 0
+
+    def test_sampled_mode_barbell(self):
+        result = TopBetweenness(eps=0.01, seed=0).run(barbell_graph(6, 3), 3)
+        assert set(result.group).issubset({5, 6, 7, 8, 9})
+        assert result.num_samples > 0
+
+    def test_k_validation(self):
+        with pytest.raises(Exception):
+            TopBetweenness().run(star_graph(5), 0)
+
+    def test_group_gbc_below_joint_optimum(self):
+        """Individually central nodes are redundant on the chain graph."""
+        from repro.algorithms import PuzisGreedy
+
+        g = community_chain(num_communities=3, size=25, bridge=3, p=0.3, seed=2)
+        heuristic = TopBetweenness(exact=True).run(g, 6)
+        greedy = PuzisGreedy().run(g, 6)
+        assert exact_gbc(g, greedy.group) >= exact_gbc(g, heuristic.group)

@@ -1,0 +1,74 @@
+"""Unit tests for the exact Puzis greedy."""
+
+import pytest
+
+from repro.algorithms import PuzisGreedy
+from repro.exceptions import ParameterError
+from repro.graph import (
+    barbell_graph,
+    erdos_renyi,
+    path_graph,
+    random_directed,
+    star_graph,
+)
+from repro.paths import exact_gbc
+
+
+class TestCorrectness:
+    def test_star_hub_first(self):
+        g = star_graph(20)
+        result = PuzisGreedy().run(g, 2)
+        assert result.group[0] == 0
+
+    def test_path_center_first(self):
+        g = path_graph(9)
+        result = PuzisGreedy().run(g, 1)
+        assert result.group == [4]
+
+    def test_estimate_matches_exact_gbc(self):
+        """The accumulated gains equal the exact B(C) of the output."""
+        for seed in range(4):
+            g = erdos_renyi(30, 0.15, seed=seed)
+            result = PuzisGreedy().run(g, 4)
+            assert result.estimate == pytest.approx(exact_gbc(g, result.group))
+
+    def test_estimate_matches_exact_gbc_directed(self):
+        for seed in range(3):
+            g = random_directed(25, 90, seed=seed)
+            result = PuzisGreedy().run(g, 3)
+            assert result.estimate == pytest.approx(exact_gbc(g, result.group))
+
+    def test_gains_decreasing(self):
+        g = erdos_renyi(40, 0.12, seed=5)
+        result = PuzisGreedy().run(g, 6)
+        gains = result.diagnostics["gains"]
+        for a, b in zip(gains, gains[1:]):
+            assert b <= a + 1e-9  # submodularity
+
+    def test_greedy_step_optimal_first_pick(self):
+        """The first pick maximizes single-node GBC."""
+        g = erdos_renyi(25, 0.2, seed=6)
+        result = PuzisGreedy().run(g, 1)
+        best = max(exact_gbc(g, [v]) for v in range(g.n))
+        assert result.estimate == pytest.approx(best)
+
+    def test_disconnected_graph(self, two_triangles):
+        result = PuzisGreedy().run(two_triangles, 2)
+        assert result.estimate == pytest.approx(
+            exact_gbc(two_triangles, result.group)
+        )
+
+    def test_barbell_bridge(self):
+        g = barbell_graph(5, 1)
+        result = PuzisGreedy().run(g, 1)
+        assert result.group == [5]  # the single bridge node
+
+    def test_size_guard(self):
+        g = erdos_renyi(30, 0.1, seed=7)
+        with pytest.raises(ParameterError):
+            PuzisGreedy(max_nodes=10).run(g, 2)
+
+    def test_full_group_covers_everything(self):
+        g = erdos_renyi(12, 0.3, seed=8)
+        result = PuzisGreedy().run(g, 12)
+        assert result.estimate == pytest.approx(exact_gbc(g, range(12)))

@@ -1,0 +1,168 @@
+"""Unit tests for the paper's closed-form bound machinery."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    EULER_FACTOR,
+    alpha_of,
+    base_lower_bound,
+    c2_of,
+    choose_base,
+    deviation_probability,
+    epsilon_one,
+    max_relative_beta,
+    q_max_of,
+    theta_of,
+)
+from repro.exceptions import ParameterError
+
+
+class TestAlpha:
+    def test_paper_example(self):
+        # Sec. IV-C: eps = 0.5 => alpha = 0.3063
+        assert alpha_of(0.5) == pytest.approx(0.3063, abs=1e-4)
+
+    def test_monotone_in_eps(self):
+        assert alpha_of(0.2) < alpha_of(0.4)
+
+    def test_range_validation(self):
+        with pytest.raises(ParameterError):
+            alpha_of(0.0)
+        with pytest.raises(ParameterError):
+            alpha_of(EULER_FACTOR)
+
+
+class TestC2:
+    def test_paper_example(self):
+        # Sec. IV-C: alpha = 0.3063 => c2 = 24.57
+        assert c2_of(0.3063) == pytest.approx(24.57, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            c2_of(0.0)
+
+
+class TestBase:
+    def test_paper_example(self):
+        # Sec. IV-C: eps = 0.5 => b' = 1.35 and b = 1.35
+        b_prime = base_lower_bound(c2_of(alpha_of(0.5)))
+        assert b_prime == pytest.approx(1.35, abs=0.01)
+        assert choose_base(0.5) == pytest.approx(b_prime)
+
+    def test_b_min_floor_applies(self):
+        # for very small eps, b' drops toward 1 and the floor kicks in
+        assert choose_base(0.05, b_min=1.1) == 1.1
+
+    def test_solves_lemma3_identity(self):
+        """b' is the root of c2 (3/2 - 9/(2b+4)) (1 - 1/b) = 1."""
+        for eps in (0.15, 0.3, 0.45, 0.6):
+            c2 = c2_of(alpha_of(eps))
+            b = base_lower_bound(c2)
+            lhs = c2 * (1.5 - 9.0 / (2.0 * b + 4.0)) * (1.0 - 1.0 / b)
+            assert lhs == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            base_lower_bound(0.5)
+        with pytest.raises(ParameterError):
+            choose_base(0.3, b_min=1.0)
+
+
+class TestQmaxTheta:
+    def test_q_max_covers_pairs(self):
+        n, b = 100, 1.3
+        q = q_max_of(n, b)
+        assert b**q >= n * (n - 1)
+        assert b ** (q - 1) < n * (n - 1)
+
+    def test_q_max_validation(self):
+        with pytest.raises(ParameterError):
+            q_max_of(1, 1.5)
+        with pytest.raises(ParameterError):
+            q_max_of(10, 1.0)
+
+    def test_theta_formula(self):
+        eps, gamma, q_max = 0.3, 0.01, 100
+        alpha = alpha_of(eps)
+        expected = (math.log(2 / gamma) + math.log(q_max)) * (2 + alpha) / alpha**2
+        assert theta_of(eps, gamma, q_max) == pytest.approx(expected)
+
+    def test_theta_decreases_with_gamma(self):
+        assert theta_of(0.3, 0.1, 50) < theta_of(0.3, 0.01, 50)
+
+    def test_theta_validation(self):
+        with pytest.raises(ParameterError):
+            theta_of(0.3, 1.5, 10)
+        with pytest.raises(ParameterError):
+            theta_of(0.3, 0.01, 0)
+
+
+class TestEpsilonOne:
+    def test_solves_quadratic(self):
+        """eps_1 is the positive root of x^2 / (2 + 2x/3) = c1 (Eq. 10)."""
+        for c1 in (1e-4, 0.01, 0.3, 2.0):
+            x = epsilon_one(c1)
+            assert x > 0
+            assert x * x / (2 + 2 * x / 3) == pytest.approx(c1, rel=1e-9)
+
+    def test_monotone_in_c1(self):
+        assert epsilon_one(0.001) < epsilon_one(0.01) < epsilon_one(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            epsilon_one(0.0)
+
+
+class TestDeviationProbability:
+    def test_decreases_with_samples(self):
+        p1 = deviation_probability(100, 0.1, 0.5)
+        p2 = deviation_probability(1000, 0.1, 0.5)
+        assert p2 < p1
+
+    def test_decreases_with_lambda(self):
+        assert deviation_probability(500, 0.3, 0.5) < deviation_probability(
+            500, 0.1, 0.5
+        )
+
+    def test_exact_value(self):
+        L, lam, mu = 200, 0.2, 0.4
+        expected = math.exp(-L * lam * lam * mu / (2 + 2 * lam / 3))
+        assert deviation_probability(L, lam, mu) == pytest.approx(expected)
+
+    def test_probability_bounded(self):
+        assert 0.0 < deviation_probability(10, 0.01, 0.01) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            deviation_probability(-1, 0.1, 0.5)
+        with pytest.raises(ParameterError):
+            deviation_probability(10, 0.0, 0.5)
+        with pytest.raises(ParameterError):
+            deviation_probability(10, 0.1, 1.5)
+
+
+class TestMaxRelativeBeta:
+    def test_inverts_stop_rule(self):
+        """Plugging beta_max back into eps_sum returns eps exactly."""
+        for eps in (0.2, 0.3, 0.5):
+            for eps1 in (0.01, 0.05, 0.1):
+                beta = max_relative_beta(eps, eps1)
+                eps_sum = beta * EULER_FACTOR * (1 - eps1) + (2 - 1 / math.e) * eps1
+                assert eps_sum == pytest.approx(eps, rel=1e-9)
+
+    def test_matches_paper_remark_form(self):
+        """The Remark's alternative expression agrees with the inversion."""
+        eps, eps1 = 0.3, 0.05
+        remark = 1 - (1 - 1 / math.e - eps + eps1) / (EULER_FACTOR * (1 - eps1))
+        assert max_relative_beta(eps, eps1) == pytest.approx(remark)
+
+    def test_grows_as_eps1_shrinks(self):
+        assert max_relative_beta(0.3, 0.01) > max_relative_beta(0.3, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            max_relative_beta(0.7, 0.05)
+        with pytest.raises(ParameterError):
+            max_relative_beta(0.3, 0.0)

@@ -1,0 +1,99 @@
+"""Unit tests for the Monte-Carlo empirical Rademacher machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import era_deviation_bound, monte_carlo_era, signed_greedy_supremum
+from repro.coverage import CoverageInstance
+from repro.exceptions import ParameterError
+
+
+def _instance(paths, n):
+    inst = CoverageInstance(n)
+    inst.add_paths(paths)
+    return inst
+
+
+class TestSignedGreedy:
+    def test_all_positive_signs(self):
+        inst = _instance([[0], [0], [1]], 2)
+        signs = np.ones(3)
+        # picking both nodes covers all three paths
+        assert signed_greedy_supremum(inst, signs, 2) == 3.0
+
+    def test_all_negative_signs_yield_zero(self):
+        inst = _instance([[0], [1]], 2)
+        signs = -np.ones(2)
+        assert signed_greedy_supremum(inst, signs, 2) == 0.0
+
+    def test_mixed_signs_avoid_bad_nodes(self):
+        # node 0: +1 paths only; node 1: one +1 and two -1
+        inst = _instance([[0], [1], [1], [1]], 2)
+        signs = np.array([1.0, 1.0, -1.0, -1.0])
+        assert signed_greedy_supremum(inst, signs, 1) == 1.0
+
+    def test_sign_length_validation(self):
+        inst = _instance([[0]], 2)
+        with pytest.raises(ParameterError):
+            signed_greedy_supremum(inst, np.ones(5), 1)
+
+
+class TestMonteCarloEra:
+    def test_empty_instance_zero(self):
+        assert monte_carlo_era(CoverageInstance(3), 2) == 0.0
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        paths = [rng.choice(10, size=3, replace=False) for _ in range(40)]
+        inst = _instance(paths, 10)
+        era = monte_carlo_era(inst, 3, num_draws=8, seed=1)
+        assert 0.0 <= era <= 1.0
+
+    def test_shrinks_with_more_samples(self):
+        """ERA of the coverage family decays roughly like 1/sqrt(L)."""
+        rng = np.random.default_rng(1)
+        small = _instance(
+            [rng.choice(8, size=2, replace=False) for _ in range(30)], 8
+        )
+        large = _instance(
+            [rng.choice(8, size=2, replace=False) for _ in range(1000)], 8
+        )
+        era_small = monte_carlo_era(small, 2, num_draws=10, seed=2)
+        era_large = monte_carlo_era(large, 2, num_draws=10, seed=2)
+        assert era_large < era_small
+
+    def test_draw_validation(self):
+        inst = _instance([[0]], 2)
+        with pytest.raises(ParameterError):
+            monte_carlo_era(inst, 1, num_draws=0)
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(3)
+        inst = _instance([rng.choice(6, size=2, replace=False) for _ in range(20)], 6)
+        a = monte_carlo_era(inst, 2, num_draws=5, seed=7)
+        b = monte_carlo_era(inst, 2, num_draws=5, seed=7)
+        assert a == b
+
+
+class TestDeviationBound:
+    def test_formula(self):
+        expected = 2 * 0.1 + 3 * math.sqrt(math.log(2 / 0.05) / (2 * 400))
+        assert era_deviation_bound(0.1, 400, 0.05) == pytest.approx(expected)
+
+    def test_negative_era_clamped(self):
+        assert era_deviation_bound(-0.5, 100, 0.1) == era_deviation_bound(
+            0.0, 100, 0.1
+        )
+
+    def test_shrinks_with_samples(self):
+        assert era_deviation_bound(0.0, 10000, 0.1) < era_deviation_bound(
+            0.0, 100, 0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            era_deviation_bound(0.1, 0, 0.1)
+        with pytest.raises(ParameterError):
+            era_deviation_bound(0.1, 10, 1.5)

@@ -1,0 +1,105 @@
+"""Unit tests for the sample-size schedules."""
+
+import pytest
+
+from repro.bounds import (
+    adaalg_schedule,
+    centra_sample_size,
+    guess_schedule,
+    hedge_sample_size,
+)
+from repro.exceptions import ParameterError
+
+
+class TestHedge:
+    def test_grows_with_k(self):
+        small = hedge_sample_size(1000, 10, 0.3, 0.01, 0.5)
+        large = hedge_sample_size(1000, 100, 0.3, 0.01, 0.5)
+        assert large > small
+
+    def test_inverse_in_mu(self):
+        a = hedge_sample_size(1000, 20, 0.3, 0.01, 0.5)
+        b = hedge_sample_size(1000, 20, 0.3, 0.01, 0.25)
+        assert b >= 2 * a - 2  # ceil slack
+
+    def test_inverse_square_in_eps(self):
+        a = hedge_sample_size(1000, 20, 0.4, 0.01, 0.5)
+        b = hedge_sample_size(1000, 20, 0.2, 0.01, 0.5)
+        assert b > 3.5 * a
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            hedge_sample_size(1, 1, 0.3, 0.01, 0.5)
+        with pytest.raises(ParameterError):
+            hedge_sample_size(10, 11, 0.3, 0.01, 0.5)
+        with pytest.raises(ParameterError):
+            hedge_sample_size(10, 2, 1.5, 0.01, 0.5)
+        with pytest.raises(ParameterError):
+            hedge_sample_size(10, 2, 0.3, 0.0, 0.5)
+        with pytest.raises(ParameterError):
+            hedge_sample_size(10, 2, 0.3, 0.01, 0.0)
+
+
+class TestCentra:
+    def test_below_hedge_for_moderate_k(self):
+        """The paper's ordering: CentRa needs fewer samples than HEDGE."""
+        for k in (20, 50, 100):
+            for mu in (0.2, 0.5, 0.8):
+                hedge = hedge_sample_size(2000, k, 0.3, 0.01, mu)
+                centra = centra_sample_size(2000, k, 0.3, 0.01, mu)
+                assert centra < hedge
+
+    def test_grows_with_k(self):
+        assert centra_sample_size(2000, 100, 0.3, 0.01, 0.5) > centra_sample_size(
+            2000, 20, 0.3, 0.01, 0.5
+        )
+
+    def test_weaker_n_dependence_than_hedge(self):
+        """HEDGE grows with log n, CentRa only with log log n."""
+        h_ratio = hedge_sample_size(10**6, 50, 0.3, 0.01, 0.5) / hedge_sample_size(
+            10**3, 50, 0.3, 0.01, 0.5
+        )
+        c_ratio = centra_sample_size(10**6, 50, 0.3, 0.01, 0.5) / centra_sample_size(
+            10**3, 50, 0.3, 0.01, 0.5
+        )
+        assert c_ratio < h_ratio
+
+
+class TestAdaAlgSchedule:
+    def test_components(self):
+        b, q_max, theta = adaalg_schedule(2000, 0.3, 0.01)
+        assert b > 1.0
+        assert q_max >= 1
+        assert theta > 0
+        assert b**q_max >= 2000 * 1999
+
+    def test_b_min_respected(self):
+        b, _, _ = adaalg_schedule(2000, 0.05, 0.01, b_min=1.25)
+        assert b == 1.25
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            adaalg_schedule(1, 0.3, 0.01)
+
+
+class TestGuessSchedule:
+    def test_geometric_decrease(self):
+        guesses = [g for _, g, _ in guess_schedule(100, base=2.0)]
+        for a, b in zip(guesses, guesses[1:]):
+            assert b == pytest.approx(a / 2)
+
+    def test_terminates_at_unit_centrality(self):
+        entries = list(guess_schedule(50, base=2.0))
+        assert entries[-1][1] >= 1.0
+        assert entries[-1][1] / 2 < 1.0
+
+    def test_mu_normalization(self):
+        n = 40
+        for _, guess, mu in guess_schedule(n):
+            assert mu == pytest.approx(guess / (n * (n - 1)))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            list(guess_schedule(1))
+        with pytest.raises(ParameterError):
+            list(guess_schedule(10, base=0.9))

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide the small deterministic topologies whose shortest-path
+structure is known in closed form, plus seeded random graphs for
+cross-validation against networkx.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    from_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path5():
+    """The path 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def star6():
+    """A star with hub 0 and five leaves."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def cycle6():
+    """The 6-cycle."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def k4():
+    """The complete graph on 4 nodes."""
+    return complete_graph(4)
+
+
+@pytest.fixture
+def grid3x3():
+    """A 3x3 lattice."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def barbell():
+    """Two K5 cliques joined by a 3-node bridge (13 nodes)."""
+    return barbell_graph(5, 3)
+
+
+@pytest.fixture
+def diamond():
+    """Two parallel shortest paths 0-1-3 and 0-2-3 (sigma_03 = 2)."""
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], n=4)
+
+
+@pytest.fixture
+def directed_diamond():
+    """The diamond with all edges directed 0 -> {1,2} -> 3."""
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], n=4, directed=True)
+
+
+@pytest.fixture
+def two_triangles():
+    """Two disconnected triangles (components {0,1,2} and {3,4,5})."""
+    return from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], n=6)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def random_graph(request):
+    """Three seeded G(25, 0.15) graphs for cross-validation sweeps."""
+    return erdos_renyi(25, 0.15, seed=request.param)
+
+
+@pytest.fixture
+def rng():
+    """A seeded numpy generator."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,149 @@
+"""Unit tests for the CELF lazy greedy max-cover."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageInstance, greedy_max_cover
+from repro.exceptions import ParameterError
+
+
+def _instance(paths, n):
+    inst = CoverageInstance(n)
+    inst.add_paths(paths)
+    return inst
+
+
+class TestBasics:
+    def test_single_best_node(self):
+        inst = _instance([[0], [0], [0, 1], [2]], 3)
+        result = greedy_max_cover(inst, 1)
+        assert result.group == [0]
+        assert result.covered == 3
+
+    def test_two_rounds(self):
+        inst = _instance([[0], [0], [1], [2], [2], [2]], 3)
+        result = greedy_max_cover(inst, 2)
+        assert result.group == [2, 0]
+        assert result.covered == 5
+        assert result.gains == [3, 2]
+
+    def test_overlap_resolved_by_marginal_gain(self):
+        # node 0 covers 3 paths, node 1 covers the same 3 plus nothing new,
+        # node 2 covers 1 fresh path
+        inst = _instance([[0, 1], [0, 1], [0, 1], [2]], 3)
+        result = greedy_max_cover(inst, 2)
+        assert result.group[0] == 0
+        assert result.group[1] == 2
+        assert result.covered == 4
+
+    def test_k_validation(self):
+        inst = _instance([[0]], 2)
+        with pytest.raises(ParameterError):
+            greedy_max_cover(inst, 0)
+        with pytest.raises(ParameterError):
+            greedy_max_cover(inst, 3)
+
+    def test_padding_to_exactly_k(self):
+        inst = _instance([[0]], 5)
+        result = greedy_max_cover(inst, 3)
+        assert len(result.group) == 3
+        assert result.group[0] == 0
+        assert result.gains[1:] == [0, 0]
+
+    def test_no_padding_option(self):
+        inst = _instance([[0]], 5)
+        result = greedy_max_cover(inst, 3, pad=False)
+        assert result.group == [0]
+
+    def test_empty_instance(self):
+        inst = CoverageInstance(4)
+        result = greedy_max_cover(inst, 2)
+        assert len(result.group) == 2
+        assert result.covered == 0
+
+    def test_null_paths_never_covered(self):
+        inst = _instance([[], [], [0]], 2)
+        result = greedy_max_cover(inst, 2)
+        assert result.covered == 1
+
+
+class TestOptimality:
+    def _brute_best(self, inst, k):
+        best = 0
+        for combo in combinations(range(inst.num_nodes), k):
+            best = max(best, inst.covered_count(combo))
+        return best
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_beats_1_minus_1_over_e(self, seed):
+        rng = np.random.default_rng(seed)
+        paths = [
+            rng.choice(8, size=rng.integers(1, 4), replace=False)
+            for _ in range(30)
+        ]
+        inst = _instance(paths, 8)
+        for k in (1, 2, 3):
+            greedy = greedy_max_cover(inst, k).covered
+            optimum = self._brute_best(inst, k)
+            assert greedy >= (1 - 1 / np.e) * optimum - 1e-9
+
+    def test_k_equals_1_is_optimal(self):
+        rng = np.random.default_rng(42)
+        paths = [rng.choice(10, size=3, replace=False) for _ in range(40)]
+        inst = _instance(paths, 10)
+        greedy = greedy_max_cover(inst, 1).covered
+        assert greedy == self._brute_best(inst, 1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lazy_equals_plain_greedy(self, seed):
+        """CELF must pick the same cover value as naive greedy."""
+        rng = np.random.default_rng(seed + 50)
+        paths = [
+            rng.choice(12, size=rng.integers(1, 5), replace=False)
+            for _ in range(60)
+        ]
+        inst = _instance(paths, 12)
+
+        # naive greedy reference
+        covered = np.zeros(inst.num_paths, dtype=bool)
+        naive = []
+        for _ in range(4):
+            gains = [
+                int(np.count_nonzero(~covered[inst.paths_through(v)]))
+                if v not in naive
+                else -1
+                for v in range(12)
+            ]
+            best = int(np.argmax(gains))
+            naive.append(best)
+            covered[inst.paths_through(best)] = True
+        naive_value = int(covered.sum())
+
+        lazy = greedy_max_cover(inst, 4)
+        assert lazy.covered == naive_value
+
+    def test_evaluations_less_than_plain(self):
+        rng = np.random.default_rng(7)
+        paths = [rng.choice(50, size=4, replace=False) for _ in range(300)]
+        inst = _instance(paths, 50)
+        result = greedy_max_cover(inst, 10)
+        assert result.evaluations < 10 * 50  # plain greedy would do K*n
+
+
+class TestGainsBookkeeping:
+    def test_gains_sum_to_covered(self):
+        rng = np.random.default_rng(3)
+        paths = [rng.choice(9, size=2, replace=False) for _ in range(25)]
+        inst = _instance(paths, 9)
+        result = greedy_max_cover(inst, 4)
+        assert sum(result.gains) == result.covered
+
+    def test_gains_non_increasing(self):
+        rng = np.random.default_rng(4)
+        paths = [rng.choice(15, size=3, replace=False) for _ in range(80)]
+        inst = _instance(paths, 15)
+        result = greedy_max_cover(inst, 6)
+        picked = [g for g in result.gains if g > 0]
+        assert picked == sorted(picked, reverse=True)

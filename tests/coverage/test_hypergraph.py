@@ -1,0 +1,90 @@
+"""Unit tests for the path/node coverage incidence."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageInstance
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_empty(self):
+        inst = CoverageInstance(5)
+        assert inst.num_paths == 0
+        assert inst.num_nodes == 5
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ParameterError):
+            CoverageInstance(-1)
+
+    def test_add_path_returns_sequential_ids(self):
+        inst = CoverageInstance(5)
+        assert inst.add_path([0, 1]) == 0
+        assert inst.add_path([2]) == 1
+
+    def test_out_of_universe_rejected(self):
+        inst = CoverageInstance(3)
+        with pytest.raises(ParameterError):
+            inst.add_path([0, 5])
+
+    def test_null_path_allowed(self):
+        inst = CoverageInstance(3)
+        inst.add_path([])
+        assert inst.num_paths == 1
+        assert inst.covered_count([0, 1, 2]) == 0
+
+    def test_duplicate_nodes_in_path_deduped(self):
+        inst = CoverageInstance(5)
+        pid = inst.add_path([2, 2, 1])
+        assert list(inst.path(pid)) == [1, 2]
+        assert inst.degree(2) == 1
+
+    def test_add_paths_bulk(self):
+        inst = CoverageInstance(4)
+        inst.add_paths([[0], [1, 2], []])
+        assert inst.num_paths == 3
+
+
+class TestQueries:
+    @pytest.fixture
+    def inst(self):
+        inst = CoverageInstance(6)
+        inst.add_paths([[0, 1, 2], [2, 3], [4], [], [0, 5]])
+        return inst
+
+    def test_degree(self, inst):
+        assert inst.degree(2) == 2
+        assert inst.degree(5) == 1
+        assert inst.degree(3) == 1
+
+    def test_paths_through(self, inst):
+        assert inst.paths_through(0) == [0, 4]
+        assert inst.paths_through(4) == [2]
+
+    def test_covered_count_single(self, inst):
+        assert inst.covered_count([2]) == 2
+
+    def test_covered_count_union_not_sum(self, inst):
+        # node 0 covers {0,4}, node 2 covers {0,1}: union is 3, not 4
+        assert inst.covered_count([0, 2]) == 3
+
+    def test_covered_count_empty_group(self, inst):
+        assert inst.covered_count([]) == 0
+
+    def test_covered_count_all(self, inst):
+        assert inst.covered_count(range(6)) == 4  # null path never covered
+
+    def test_covered_count_bad_group(self, inst):
+        with pytest.raises(ParameterError):
+            inst.covered_count([9])
+
+    def test_coverage_fraction(self, inst):
+        assert inst.coverage_fraction([2]) == pytest.approx(0.4)
+
+    def test_coverage_fraction_empty_instance(self):
+        assert CoverageInstance(3).coverage_fraction([0]) == 0.0
+
+    def test_numpy_path_input(self):
+        inst = CoverageInstance(5)
+        inst.add_path(np.array([3, 1], dtype=np.int64))
+        assert inst.covered_count([1]) == 1

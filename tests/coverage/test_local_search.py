@@ -1,0 +1,85 @@
+"""Unit tests for the swap local search."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coverage import (
+    CoverageInstance,
+    greedy_max_cover,
+    swap_local_search,
+)
+from repro.exceptions import ParameterError
+
+
+def _instance(paths, n):
+    inst = CoverageInstance(n)
+    inst.add_paths(paths)
+    return inst
+
+
+class TestSwapLocalSearch:
+    def test_never_decreases_coverage(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            paths = [
+                rng.choice(12, size=rng.integers(1, 4), replace=False)
+                for _ in range(50)
+            ]
+            inst = _instance(paths, 12)
+            greedy = greedy_max_cover(inst, 3)
+            refined = swap_local_search(inst, greedy.group)
+            assert refined.covered >= greedy.covered
+
+    def test_fixes_a_deliberately_bad_group(self):
+        # paths covered only by nodes 0 and 1; group starts at {2, 3}
+        inst = _instance([[0], [0], [1], [1]], 4)
+        refined = swap_local_search(inst, [2, 3])
+        assert set(refined.group) == {0, 1}
+        assert refined.covered == 4
+        assert refined.swaps == 2
+
+    def test_local_optimum_is_stable(self):
+        inst = _instance([[0], [1], [2]], 3)
+        refined = swap_local_search(inst, [0, 1, 2])
+        assert refined.swaps == 0
+        assert refined.rounds == 1
+
+    def test_group_size_preserved(self):
+        rng = np.random.default_rng(1)
+        paths = [rng.choice(10, size=2, replace=False) for _ in range(30)]
+        inst = _instance(paths, 10)
+        refined = swap_local_search(inst, [0, 1, 2, 3])
+        assert len(refined.group) == 4
+        assert len(set(refined.group)) == 4
+
+    def test_reaches_optimum_on_small_instances(self):
+        rng = np.random.default_rng(2)
+        paths = [rng.choice(8, size=2, replace=False) for _ in range(25)]
+        inst = _instance(paths, 8)
+        refined = swap_local_search(inst, greedy_max_cover(inst, 2).group)
+        best = max(inst.covered_count(c) for c in combinations(range(8), 2))
+        # single-swap local optima are not always global, but on these
+        # tiny instances they should be very close
+        assert refined.covered >= best - 1
+
+    def test_duplicate_group_rejected(self):
+        inst = _instance([[0]], 3)
+        with pytest.raises(ParameterError):
+            swap_local_search(inst, [1, 1])
+
+    def test_bad_ids_rejected(self):
+        inst = _instance([[0]], 3)
+        with pytest.raises(ParameterError):
+            swap_local_search(inst, [5])
+
+    def test_max_rounds_respected(self):
+        inst = _instance([[0], [1]], 4)
+        refined = swap_local_search(inst, [2, 3], max_rounds=1)
+        assert refined.rounds == 1
+
+    def test_max_rounds_validation(self):
+        inst = _instance([[0]], 2)
+        with pytest.raises(ParameterError):
+            swap_local_search(inst, [0], max_rounds=0)

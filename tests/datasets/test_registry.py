@@ -1,0 +1,64 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, get_spec, load
+from repro.exceptions import DatasetError
+from repro.graph import weakly_connected_components
+
+
+class TestRegistry:
+    def test_ten_table1_entries(self):
+        assert len(DATASETS) == 10
+
+    def test_names_in_table_order(self):
+        names = dataset_names()
+        assert names[0] == "GrQc"
+        assert names[-1] == "SyntheticNetwork-WS"
+
+    def test_get_spec(self):
+        spec = get_spec("Facebook")
+        assert spec.paper_nodes == 63731
+        assert not spec.directed
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_spec("NotADataset")
+
+    def test_directedness_matches_paper(self):
+        directed = {"Epinions", "Twitter", "Email-euAll", "LiveJournal"}
+        for name, spec in DATASETS.items():
+            assert spec.directed == (name in directed)
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", ["GrQc", "Twitter", "SyntheticNetwork-WS"])
+    def test_load_basic(self, name):
+        graph = load(name, seed=0)
+        spec = get_spec(name)
+        assert graph.n > 100
+        assert graph.directed == spec.directed
+
+    def test_giant_only_is_connected(self):
+        graph = load("Email-euAll", seed=0, giant_only=True)
+        labels = weakly_connected_components(graph)
+        assert labels.max() == 0
+
+    def test_whole_graph_can_be_larger(self):
+        whole = load("Email-euAll", seed=0, giant_only=False)
+        giant = load("Email-euAll", seed=0, giant_only=True)
+        assert whole.n >= giant.n
+
+    def test_deterministic_per_seed(self):
+        assert load("GrQc", seed=5) == load("GrQc", seed=5)
+
+    def test_different_seeds_differ(self):
+        assert load("GrQc", seed=1) != load("GrQc", seed=2)
+
+    def test_scale_sanity(self):
+        """Stand-ins are scaled down but structurally non-trivial."""
+        for name in dataset_names():
+            graph = load(name, seed=0)
+            spec = get_spec(name)
+            assert 500 <= graph.n <= spec.paper_nodes
+            assert graph.num_edges >= graph.n - 1  # dense enough to be connected-ish

@@ -1,0 +1,105 @@
+"""Integration tests for the ablation experiments (tiny configs)."""
+
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    run_base_sweep,
+    run_endpoint_ablation,
+    run_pair_vs_path,
+    run_sampler_work,
+    run_strategy_comparison,
+)
+
+_TINY = SMOKE.with_overrides(
+    ks=(5, 8),
+    exhaust_samples=1200,
+    eval_samples=1200,
+    max_samples=40_000,
+)
+
+
+class TestBaseSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_base_sweep(_TINY, eps=0.4)
+
+    def test_one_row_per_base(self, result):
+        assert len(result.rows) == 5
+
+    def test_b_used_at_least_b_min(self, result):
+        for row in result.rows:
+            assert row[2] >= row[1]
+
+    def test_samples_positive(self, result):
+        assert all(row[3] > 0 for row in result.rows)
+
+    def test_render(self, result):
+        assert "b_min" in result.render()
+
+
+class TestSamplerWork:
+    def test_bidirectional_cheaper(self):
+        result = run_sampler_work(_TINY, draws=100)
+        for row in result.rows:
+            assert row[2] <= row[3]  # bidirectional <= forward
+            assert row[4] >= 1.0
+
+
+class TestEndpointAblation:
+    def test_gap_positive(self):
+        result = run_endpoint_ablation(_TINY, eps=0.4)
+        for row in result.rows:
+            assert row[2] > row[3]  # with endpoints > without
+            assert row[5] > 0  # the paper's constant
+
+
+class TestStrategyComparison:
+    def test_columns_in_unit_range(self):
+        result = run_strategy_comparison(_TINY, eps=0.4)
+        for row in result.rows:
+            for value in row[2:]:
+                assert 0.0 <= value <= 1.0
+
+
+class TestValidationSetAblation:
+    def test_no_t_uses_fewer_samples(self):
+        from repro.experiments import run_validation_set_ablation
+
+        result = run_validation_set_ablation(_TINY, eps=0.4)
+        for row in result.rows:
+            _, _, with_t, _, no_t, _ = row
+            assert no_t < with_t
+
+
+class TestLocalSearchAblation:
+    def test_refined_not_worse(self):
+        from repro.experiments import run_local_search_ablation
+
+        result = run_local_search_ablation(_TINY, eps=0.4)
+        for row in result.rows:
+            _, _, swaps, greedy_q, refined_q = row
+            assert swaps >= 0
+            # local search optimizes sample coverage; exact quality can
+            # wiggle within sampling noise but not collapse
+            assert refined_q >= 0.9 * greedy_q
+
+
+class TestPairVsPath:
+    def test_claimed_at_least_exact(self):
+        result = run_pair_vs_path(_TINY, eps=0.4)
+        for row in result.rows:
+            _, _, _, claimed, exact_sketch, _, _ = row
+            assert claimed >= 0.9 * exact_sketch
+
+
+class TestWorkScaling:
+    def test_exponent_sublinear(self):
+        from repro.experiments import run_work_scaling
+
+        result = run_work_scaling(_TINY, sizes=(300, 600, 1200), draws=60)
+        exponent = result.rows[-1][1]
+        assert 0.0 < exponent < 0.95
+        # data rows: bidirectional below forward everywhere
+        for row in result.rows[:-1]:
+            assert row[2] < row[3]

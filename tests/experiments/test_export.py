@@ -1,0 +1,59 @@
+"""Unit tests for CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import FigureResult, read_json, to_csv, to_json, write_result
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        name="Figure X",
+        title="a test figure",
+        headers=["dataset", "K", "value"],
+        rows=[["GrQc", 20, 0.5], ["GrQc", 40, 0.75]],
+    )
+
+
+class TestCSV:
+    def test_round_trippable_content(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        to_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == result.headers
+        assert rows[1] == ["GrQc", "20", "0.5"]
+        assert len(rows) == 3
+
+
+class TestJSON:
+    def test_payload_structure(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        to_json(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "Figure X"
+        assert payload["rows"][0] == {"dataset": "GrQc", "K": 20, "value": 0.5}
+
+    def test_read_back(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        to_json(result, path)
+        back = read_json(path)
+        assert back.headers == result.headers
+        assert back.rows == result.rows
+        assert back.title == result.title
+
+
+class TestDispatch:
+    def test_by_extension(self, result, tmp_path):
+        write_result(result, tmp_path / "a.csv")
+        write_result(result, tmp_path / "a.json")
+        assert (tmp_path / "a.csv").exists()
+        assert (tmp_path / "a.json").exists()
+
+    def test_unknown_extension(self, result, tmp_path):
+        with pytest.raises(ParameterError):
+            write_result(result, tmp_path / "a.xlsx")

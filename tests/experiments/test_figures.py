@@ -1,0 +1,137 @@
+"""Integration tests for the figure experiments (tiny configs).
+
+These verify the harness mechanics (rows, columns, shapes), not the
+paper's quantitative claims — those are asserted at realistic scale by
+the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+)
+
+_TINY = SMOKE.with_overrides(
+    ks=(5, 10),
+    eps_values=(0.3, 0.5),
+    fig1_simulations=2,
+    fig1_lengths=(200, 400),
+    exhaust_samples=1500,
+    eval_samples=1500,
+    max_samples=30_000,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(_TINY, ks=(5, 10))
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(_TINY)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(_TINY)
+
+
+class TestFig1:
+    def test_row_grid(self, fig1):
+        # one row per (dataset, K, L)
+        assert len(fig1.rows) == 1 * 2 * 2
+
+    def test_beta_avg_below_max(self, fig1):
+        for avg, top in zip(fig1.column("beta_avg"), fig1.column("beta_max")):
+            assert avg <= top + 1e-12
+
+    def test_render_contains_headers(self, fig1):
+        text = fig1.render()
+        assert "beta_avg" in text
+        assert "Figure 1" in text
+
+    def test_column_and_filter(self, fig1):
+        assert set(fig1.column("K")) == {5, 10}
+        rows = fig1.filtered(K=5)
+        assert all(row[1] == 5 for row in rows)
+
+
+class TestFig2:
+    def test_row_grid(self, fig2):
+        assert len(fig2.rows) == len(_TINY.ks)
+
+    def test_normalized_in_range(self, fig2):
+        for header in (
+            "norm_EXHAUST",
+            "norm_HEDGE",
+            "norm_CentRa",
+            "norm_AdaAlg",
+        ):
+            for value in fig2.column(header):
+                assert 0.0 <= value <= 1.0
+
+    def test_quality_close_to_exhaust(self, fig2):
+        for ratio in fig2.column("ada_vs_exhaust"):
+            assert ratio >= 0.8
+
+    def test_gbc_grows_with_k(self, fig2):
+        exhaust = fig2.column("norm_EXHAUST")
+        assert exhaust == sorted(exhaust)
+
+
+class TestFig3:
+    def test_rows_per_eps(self):
+        fig3 = run_fig3(_TINY, k=5)
+        assert len(fig3.rows) == len(_TINY.eps_values)
+        assert set(fig3.column("eps")) == set(_TINY.eps_values)
+
+
+class TestFig4:
+    def test_sample_columns_positive(self, fig4):
+        for header in ("samples_HEDGE", "samples_CentRa", "samples_AdaAlg"):
+            for value in fig4.column(header):
+                assert value > 0
+
+    def test_adaalg_fewest(self, fig4):
+        for row in fig4.rows:
+            hedge, centra, ada = row[3], row[4], row[5]
+            assert ada < centra
+            assert ada < hedge
+
+    def test_ratio_column_consistent(self, fig4):
+        for row in fig4.rows:
+            assert row[6] == pytest.approx(row[4] / row[5])
+
+
+class TestFig5:
+    def test_grid(self):
+        fig5 = run_fig5(_TINY, ks=(5,))
+        assert len(fig5.rows) == len(_TINY.eps_values)
+
+    def test_samples_decrease_with_eps(self):
+        fig5 = run_fig5(_TINY, ks=(10,))
+        hedge = fig5.column("samples_HEDGE")
+        assert hedge == sorted(hedge, reverse=True)
+
+
+class TestTable1:
+    def test_all_datasets(self):
+        table = run_table1(_TINY)
+        assert len(table.rows) == 10
+
+    def test_config_subset(self):
+        table = run_table1(_TINY, all_datasets=False)
+        assert len(table.rows) == 1
+
+    def test_paper_sizes_present(self):
+        table = run_table1(_TINY)
+        grqc = table.filtered(dataset="GrQc")[0]
+        assert grqc[1] == 5244
+        assert grqc[2] == 14496

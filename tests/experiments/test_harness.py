@@ -1,0 +1,109 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    BENCH,
+    FULL,
+    REDUCED,
+    SMOKE,
+    DatasetContext,
+    ExperimentConfig,
+    aggregate,
+    build_sampling_algorithm,
+    load_dataset,
+)
+from repro.graph import erdos_renyi
+from repro.paths import exact_gbc
+
+
+class TestConfig:
+    def test_presets_are_configs(self):
+        for preset in (SMOKE, BENCH, REDUCED, FULL):
+            assert isinstance(preset, ExperimentConfig)
+
+    def test_preset_scaling_order(self):
+        assert SMOKE.exhaust_samples < BENCH.exhaust_samples
+        assert BENCH.repetitions <= REDUCED.repetitions <= FULL.repetitions
+
+    def test_full_has_all_datasets(self):
+        assert len(FULL.datasets) == 10
+
+    def test_with_overrides(self):
+        cfg = SMOKE.with_overrides(repetitions=7)
+        assert cfg.repetitions == 7
+        assert cfg.datasets == SMOKE.datasets
+        assert SMOKE.repetitions != 7  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SMOKE.repetitions = 2
+
+
+class TestBuildAlgorithm:
+    def test_known_names(self):
+        for name in ("HEDGE", "CentRa", "AdaAlg"):
+            algo = build_sampling_algorithm(name, 0.3, SMOKE, seed=0)
+            assert algo.name == name
+            assert algo.eps == 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            build_sampling_algorithm("EXHAUST", 0.3, SMOKE, seed=0)
+
+    def test_max_samples_propagated(self):
+        algo = build_sampling_algorithm("HEDGE", 0.3, SMOKE, seed=0)
+        assert algo.max_samples == SMOKE.max_samples
+
+
+class TestDatasetContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        graph = erdos_renyi(60, 0.1, seed=0)
+        cfg = SMOKE.with_overrides(eval_samples=3000, exhaust_samples=3000)
+        return DatasetContext(graph, cfg), graph
+
+    def test_exhaust_group_size(self, context):
+        ctx, _ = context
+        assert len(ctx.exhaust_group(4)) == 4
+
+    def test_exhaust_group_cached(self, context):
+        ctx, _ = context
+        assert ctx.exhaust_group(4) is ctx.exhaust_group(4)
+
+    def test_holdout_evaluation_close_to_exact(self, context):
+        ctx, graph = context
+        group = ctx.exhaust_group(4)
+        holdout = ctx.evaluate(group)
+        exact = exact_gbc(graph, group)
+        assert holdout == pytest.approx(exact, rel=0.1)
+
+    def test_normalized_in_unit_range(self, context):
+        ctx, _ = context
+        value = ctx.evaluate_normalized(ctx.exhaust_group(3))
+        assert 0.0 <= value <= 1.0
+
+    def test_exact_mode(self):
+        graph = erdos_renyi(30, 0.15, seed=1)
+        cfg = SMOKE.with_overrides(
+            quality_mode="exact", eval_samples=10, exhaust_samples=500
+        )
+        ctx = DatasetContext(graph, cfg)
+        group = [0, 1]
+        assert ctx.evaluate(group) == pytest.approx(exact_gbc(graph, group))
+
+
+class TestHelpers:
+    def test_load_dataset(self):
+        graph = load_dataset("GrQc", SMOKE)
+        assert graph.n > 100
+
+    def test_aggregate(self):
+        mean, top = aggregate([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert top == 3.0
+
+    def test_aggregate_empty(self):
+        with pytest.raises(ParameterError):
+            aggregate([])

@@ -1,0 +1,51 @@
+"""Unit tests for the plain-text report rendering."""
+
+from repro.experiments import format_number, format_table, render_series
+
+
+class TestFormatNumber:
+    def test_none(self):
+        assert format_number(None) == "-"
+
+    def test_int_thousands(self):
+        assert format_number(12345) == "12,345"
+
+    def test_float_sig_figs(self):
+        assert format_number(0.123456) == "0.1235"
+
+    def test_large_float(self):
+        assert format_number(12345.6) == "12,346"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_bool(self):
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # all rows same width
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_header_rule(self):
+        table = format_table(["x"], [[1]])
+        assert "-" in table.splitlines()[1]
+
+    def test_empty_rows(self):
+        table = format_table(["x", "y"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_title_and_bar(self):
+        text = render_series("My Title", ["c"], [[1]])
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert set(lines[1]) == {"="}

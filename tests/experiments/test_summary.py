@@ -1,0 +1,56 @@
+"""Unit tests for the run-everything summary driver."""
+
+import pytest
+
+from repro.experiments import (
+    EXPECTED_SHAPES,
+    SMOKE,
+    run_all,
+    write_markdown,
+)
+
+_TINY = SMOKE.with_overrides(
+    ks=(5,),
+    eps_values=(0.4,),
+    fig1_simulations=1,
+    fig1_lengths=(300, 600),
+    exhaust_samples=800,
+    eval_samples=800,
+    max_samples=25_000,
+)
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all(_TINY, experiments=("table1", "fig1"))
+
+    def test_selected_experiments_only(self, results):
+        assert set(results) == {"table1", "fig1"}
+
+    def test_results_have_rows(self, results):
+        for result in results.values():
+            assert result.rows
+
+    def test_expected_shapes_cover_all_experiments(self):
+        assert set(EXPECTED_SHAPES) == {
+            "table1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+        }
+
+
+class TestWriteMarkdown:
+    def test_report_structure(self, tmp_path):
+        results = run_all(_TINY, experiments=("table1",))
+        out = tmp_path / "EXPERIMENTS.md"
+        write_markdown(results, out, preset_name="tiny", preamble="hello")
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "preset `tiny`" in text
+        assert "hello" in text
+        assert "Table I" in text
+        assert "Paper's expected shape" in text

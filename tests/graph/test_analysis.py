@@ -1,0 +1,92 @@
+"""Unit tests for graph descriptive statistics."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    approximate_diameter,
+    complete_graph,
+    cycle_graph,
+    degree_statistics,
+    from_edges,
+    graph_summary,
+    path_graph,
+    sampled_clustering_coefficient,
+    star_graph,
+)
+
+
+class TestDegreeStatistics:
+    def test_path(self):
+        stats = degree_statistics(path_graph(5))
+        assert stats["mean"] == pytest.approx(8 / 5)
+        assert stats["max"] == 2
+
+    def test_star(self):
+        stats = degree_statistics(star_graph(11))
+        assert stats["max"] == 10
+
+    def test_empty(self):
+        stats = degree_statistics(from_edges([], n=0))
+        assert stats == {"mean": 0.0, "max": 0, "p90": 0.0}
+
+
+class TestApproximateDiameter:
+    def test_exact_on_path(self):
+        assert approximate_diameter(path_graph(12), seed=0) == 11
+
+    def test_cycle_half(self):
+        assert approximate_diameter(cycle_graph(10), seed=0) == 5
+
+    def test_complete_graph(self):
+        assert approximate_diameter(complete_graph(6), seed=0) == 1
+
+    def test_empty(self):
+        assert approximate_diameter(from_edges([], n=0)) == 0
+
+    def test_lower_bound_property(self):
+        """On any graph the estimate never exceeds n - 1."""
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(30, 0.2, seed=1)
+        assert 0 <= approximate_diameter(g, seed=2) <= 29
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert sampled_clustering_coefficient(complete_graph(8), seed=0) == 1.0
+
+    def test_star_is_zero(self):
+        assert sampled_clustering_coefficient(star_graph(10), seed=0) == 0.0
+
+    def test_no_eligible_nodes(self):
+        assert sampled_clustering_coefficient(from_edges([(0, 1)], n=2)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            sampled_clustering_coefficient(complete_graph(4), samples=0)
+
+    def test_triangle_rich_beats_lattice(self):
+        from repro.graph import powerlaw_cluster, watts_strogatz
+
+        clustered = powerlaw_cluster(300, 3, 0.8, seed=3)
+        rewired = watts_strogatz(300, 6, 1.0, seed=3)
+        assert sampled_clustering_coefficient(
+            clustered, seed=4
+        ) > sampled_clustering_coefficient(rewired, seed=4)
+
+
+class TestGraphSummary:
+    def test_fields(self):
+        summary = graph_summary(path_graph(6), seed=0)
+        assert summary.num_nodes == 6
+        assert summary.num_edges == 5
+        assert summary.num_components == 1
+        assert summary.giant_fraction == 1.0
+        assert summary.diameter == 5
+
+    def test_disconnected(self, two_triangles):
+        summary = graph_summary(two_triangles, seed=0)
+        assert summary.num_components == 2
+        assert summary.giant_fraction == pytest.approx(0.5)
+        assert summary.clustering == 1.0

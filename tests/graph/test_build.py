@@ -1,0 +1,122 @@
+"""Unit tests for graph construction from edge data."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import empty_graph, from_adjacency, from_edges, from_networkx
+
+
+class TestFromEdges:
+    def test_list_of_tuples(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.num_edges == 2
+
+    def test_numpy_input(self):
+        g = from_edges(np.array([[0, 1], [1, 2]]))
+        assert g.num_edges == 2
+
+    def test_explicit_n_adds_isolated(self):
+        g = from_edges([(0, 1)], n=5)
+        assert g.n == 5
+        assert g.out_degree(4) == 0
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 9)], n=5)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(-1, 0)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges(np.zeros((3, 3)))
+
+    def test_self_loops_dropped(self):
+        g = from_edges([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_on_request_are_still_invalid_shape(self):
+        # drop_self_loops=False keeps the pair; undirected storage then
+        # contains it twice, so the edge count includes it
+        g = from_edges([(0, 1), (1, 1)], drop_self_loops=False)
+        assert g.has_edge(1, 1)
+
+    def test_duplicate_edges_deduped(self):
+        g = from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+
+    def test_duplicates_kept_without_dedup_directed(self):
+        g = from_edges([(0, 1), (0, 1)], directed=True, dedup=False)
+        assert g.num_edges == 2
+
+    def test_undirected_symmetrized(self):
+        g = from_edges([(1, 0)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_directed_preserves_orientation(self):
+        g = from_edges([(1, 0)], directed=True)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_empty_edges(self):
+        g = from_edges([], n=3)
+        assert g.n == 3
+        assert g.num_edges == 0
+
+    def test_zero_nodes(self):
+        g = from_edges([])
+        assert g.n == 0
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        g = from_adjacency({0: [1, 2], 1: [2]})
+        assert g.num_edges == 3
+
+    def test_directed(self):
+        g = from_adjacency({0: [1]}, directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_neighbor_only_nodes_included(self):
+        g = from_adjacency({0: [5]})
+        assert g.n == 6
+
+    def test_empty(self):
+        assert from_adjacency({}).n == 0
+
+
+class TestFromNetworkx:
+    def test_undirected(self):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.path_graph(4)
+        g = from_networkx(nxg)
+        assert g.n == 4
+        assert g.num_edges == 3
+
+    def test_directed(self):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.DiGraph([(0, 1), (1, 2)])
+        g = from_networkx(nxg)
+        assert g.directed
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_bad_labels_rejected(self):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.Graph([("a", "b")])
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+
+class TestEmptyGraph:
+    def test_sizes(self):
+        g = empty_graph(7)
+        assert g.n == 7
+        assert g.num_edges == 0
+
+    def test_directed_flag(self):
+        assert empty_graph(3, directed=True).directed

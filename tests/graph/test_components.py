@@ -1,0 +1,98 @@
+"""Unit tests for connectivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edges,
+    giant_component,
+    path_graph,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+class TestWeakComponents:
+    def test_connected(self, path5):
+        labels = weakly_connected_components(path5)
+        assert set(labels) == {0}
+
+    def test_two_components(self, two_triangles):
+        labels = weakly_connected_components(two_triangles)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_nodes(self):
+        g = from_edges([(0, 1)], n=4)
+        labels = weakly_connected_components(g)
+        assert len(set(labels)) == 3
+
+    def test_direction_ignored(self):
+        g = from_edges([(0, 1), (2, 1)], n=3, directed=True)
+        labels = weakly_connected_components(g)
+        assert set(labels) == {0}
+
+    def test_empty_graph(self):
+        g = from_edges([], n=0)
+        assert weakly_connected_components(g).size == 0
+
+
+class TestStrongComponents:
+    def test_undirected_equals_weak(self, two_triangles):
+        weak = weakly_connected_components(two_triangles)
+        strong = strongly_connected_components(two_triangles)
+        assert np.array_equal(weak, strong)
+
+    def test_directed_cycle_is_one_scc(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], n=3, directed=True)
+        assert set(strongly_connected_components(g)) == {0}
+
+    def test_directed_path_all_singletons(self):
+        g = path_graph(4, directed=True)
+        labels = strongly_connected_components(g)
+        assert len(set(labels)) == 4
+
+    def test_mixed(self):
+        # cycle {0,1,2} feeding an acyclic tail 3 -> 4
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)], n=5, directed=True
+        )
+        labels = strongly_connected_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+        assert labels[4] != labels[3]
+
+    def test_two_cycles_with_bridge(self):
+        g = from_edges(
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], n=4, directed=True
+        )
+        labels = strongly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+
+class TestGiantComponent:
+    def test_extracts_largest(self):
+        g = from_edges([(0, 1), (1, 2), (3, 4)], n=5)
+        giant, nodes = giant_component(g)
+        assert giant.n == 3
+        assert list(nodes) == [0, 1, 2]
+
+    def test_already_connected(self, path5):
+        giant, nodes = giant_component(path5)
+        assert giant == path5
+        assert list(nodes) == list(range(5))
+
+    def test_directed_weak_giant(self):
+        g = from_edges([(0, 1), (2, 1), (3, 4)], n=5, directed=True)
+        giant, nodes = giant_component(g)
+        assert giant.n == 3
+        assert giant.directed
+
+    def test_empty(self):
+        g = from_edges([], n=0)
+        giant, nodes = giant_component(g)
+        assert giant.n == 0
+        assert nodes.size == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import CSRGraph, from_edges
+
+
+class TestConstruction:
+    def test_basic_undirected(self, path5):
+        assert path5.n == 5
+        assert path5.num_edges == 4
+        assert not path5.directed
+
+    def test_basic_directed(self, directed_diamond):
+        assert directed_diamond.n == 4
+        assert directed_diamond.num_edges == 4
+        assert directed_diamond.directed
+
+    def test_num_ordered_pairs(self, path5):
+        assert path5.num_ordered_pairs == 20
+
+    def test_indptr_validation_start(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_indptr_validation_monotone(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([1], dtype=np.int32))
+
+    def test_indices_range_check(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1, 2]), np.array([5, 0], dtype=np.int32))
+
+    def test_undirected_needs_symmetric_storage(self):
+        # one arc only cannot be a valid undirected CSR
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1, 1]), np.array([1], dtype=np.int32))
+
+    def test_arrays_read_only(self, path5):
+        with pytest.raises(ValueError):
+            path5.indices[0] = 3
+
+
+class TestAccessors:
+    def test_degrees_path(self, path5):
+        assert [path5.out_degree(v) for v in range(5)] == [1, 2, 2, 2, 1]
+        assert list(path5.out_degrees()) == [1, 2, 2, 2, 1]
+
+    def test_degrees_directed(self, directed_diamond):
+        assert directed_diamond.out_degree(0) == 2
+        assert directed_diamond.in_degree(0) == 0
+        assert directed_diamond.in_degree(3) == 2
+        assert list(directed_diamond.in_degrees()) == [0, 1, 1, 2]
+
+    def test_neighbors_sorted(self, star6):
+        assert list(star6.neighbors(0)) == [1, 2, 3, 4, 5]
+        assert list(star6.neighbors(3)) == [0]
+
+    def test_predecessors_undirected_alias(self, path5):
+        assert list(path5.predecessors(2)) == list(path5.neighbors(2))
+
+    def test_predecessors_directed(self, directed_diamond):
+        assert sorted(directed_diamond.predecessors(3)) == [1, 2]
+        assert list(directed_diamond.predecessors(0)) == []
+
+    def test_has_edge(self, directed_diamond):
+        assert directed_diamond.has_edge(0, 1)
+        assert not directed_diamond.has_edge(1, 0)
+
+    def test_has_edge_undirected(self, path5):
+        assert path5.has_edge(0, 1)
+        assert path5.has_edge(1, 0)
+        assert not path5.has_edge(0, 2)
+
+
+class TestIterationExport:
+    def test_edges_undirected_once(self, path5):
+        assert sorted(path5.edges()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_edges_directed_all(self, directed_diamond):
+        assert sorted(directed_diamond.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_edge_array_matches_edges(self, barbell):
+        arr = barbell.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(barbell.edges())
+
+
+class TestDerivedGraphs:
+    def test_reverse_directed(self, directed_diamond):
+        rev = directed_diamond.reverse()
+        assert rev.has_edge(3, 1)
+        assert not rev.has_edge(1, 3)
+        assert rev.reverse() == directed_diamond
+
+    def test_reverse_undirected_is_self(self, path5):
+        assert path5.reverse() is path5
+
+    def test_to_undirected(self, directed_diamond):
+        und = directed_diamond.to_undirected()
+        assert not und.directed
+        assert und.num_edges == 4
+        assert und.has_edge(1, 0)
+
+    def test_to_undirected_merges_antiparallel(self):
+        g = from_edges([(0, 1), (1, 0)], n=2, directed=True)
+        und = g.to_undirected()
+        assert und.num_edges == 1
+
+    def test_subgraph_relabels(self, barbell):
+        sub = barbell.subgraph([0, 1, 2, 3, 4])
+        assert sub.n == 5
+        assert sub.num_edges == 10  # K5
+
+    def test_subgraph_drops_cross_edges(self, path5):
+        sub = path5.subgraph([0, 1, 3, 4])
+        assert sub.num_edges == 2  # 0-1 and 3-4 survive
+
+    def test_subgraph_rejects_bad_ids(self, path5):
+        with pytest.raises(GraphError):
+            path5.subgraph([0, 99])
+
+    def test_remove_nodes_keeps_ids(self, path5):
+        cut = path5.remove_nodes([2])
+        assert cut.n == 5
+        assert cut.out_degree(2) == 0
+        assert cut.has_edge(0, 1)
+        assert not cut.has_edge(1, 2)
+
+    def test_remove_nodes_directed(self, directed_diamond):
+        cut = directed_diamond.remove_nodes([1])
+        assert cut.has_edge(0, 2)
+        assert cut.has_edge(2, 3)
+        assert not cut.has_edge(0, 1)
+
+    def test_remove_nothing(self, path5):
+        assert path5.remove_nodes([]) == path5
+
+
+class TestDunder:
+    def test_repr(self, path5):
+        assert "n=5" in repr(path5)
+        assert "undirected" in repr(path5)
+
+    def test_eq(self, path5):
+        from repro.graph import path_graph
+
+        assert path5 == path_graph(5)
+        assert path5 != path_graph(6)
+
+    def test_eq_other_type(self, path5):
+        assert path5 != "not a graph"

@@ -1,0 +1,272 @@
+"""Unit tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import (
+    barabasi_albert,
+    barbell_graph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    powerlaw_cluster,
+    random_directed,
+    star_graph,
+    watts_strogatz,
+    weakly_connected_components,
+)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        # star on m+1 nodes (m edges) + m edges per later node
+        assert g.num_edges == 3 + 3 * (100 - 4)
+
+    def test_connected(self):
+        g = barabasi_albert(200, 2, seed=1)
+        assert weakly_connected_components(g).max() == 0
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 3, seed=2)
+        degrees = g.out_degrees()
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_deterministic_with_seed(self):
+        assert barabasi_albert(50, 2, seed=7) == barabasi_albert(50, 2, seed=7)
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(5, 5)
+        with pytest.raises(ParameterError):
+            barabasi_albert(5, 0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.num_edges == 40
+        assert all(g.out_degree(v) == 4 for v in range(20))
+
+    def test_edge_count_preserved_by_rewire(self):
+        g = watts_strogatz(50, 6, 0.5, seed=1)
+        assert g.num_edges == 150
+
+    def test_full_rewire_changes_structure(self):
+        lattice = watts_strogatz(40, 4, 0.0, seed=2)
+        rewired = watts_strogatz(40, 4, 1.0, seed=2)
+        assert lattice != rewired
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ParameterError):
+            watts_strogatz(10, 4, 1.5)  # bad p
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(8, 1.0, seed=0)
+        assert g.num_edges == 28
+
+    def test_p_one_complete_directed(self):
+        g = erdos_renyi(5, 1.0, seed=0, directed=True)
+        assert g.num_edges == 20
+
+    def test_expected_density(self):
+        g = erdos_renyi(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_directed_flag(self):
+        assert erdos_renyi(10, 0.2, seed=0, directed=True).directed
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.2)
+
+
+class TestPowerlawCluster:
+    def test_edge_count(self):
+        g = powerlaw_cluster(100, 3, 0.5, seed=0)
+        assert g.num_edges == 3 + 3 * (100 - 4)
+
+    def test_connected(self):
+        g = powerlaw_cluster(150, 2, 0.3, seed=1)
+        assert weakly_connected_components(g).max() == 0
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(ParameterError):
+            powerlaw_cluster(10, 2, -0.1)
+
+
+class TestRandomDirected:
+    def test_arc_count(self):
+        g = random_directed(100, 500, seed=0)
+        assert g.num_edges == 500
+        assert g.directed
+
+    def test_no_self_loops(self):
+        g = random_directed(50, 200, seed=1)
+        assert all(u != v for u, v in g.edges())
+
+    def test_hubs_exist(self):
+        g = random_directed(200, 1000, seed=2, hub_exponent=1.2)
+        assert g.out_degrees().max() > 3 * np.median(g.out_degrees())
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            random_directed(1, 10)
+
+
+class TestStochasticBlockModel:
+    def _two_block(self, p_in=0.3, p_out=0.02, seed=0):
+        from repro.graph import stochastic_block_model
+
+        return stochastic_block_model(
+            [40, 40], [[p_in, p_out], [p_out, p_in]], seed=seed
+        )
+
+    def test_sizes(self):
+        g = self._two_block()
+        assert g.n == 80
+
+    def test_block_density_contrast(self):
+        g = self._two_block(seed=1)
+        intra = sum(1 for u, v in g.edges() if (u < 40) == (v < 40))
+        inter = g.num_edges - intra
+        # expected intra ~ 2*C(40,2)*0.3 = 468; inter ~ 1600*0.02 = 32
+        assert intra > 5 * inter
+
+    def test_zero_cross_probability_disconnects(self):
+        from repro.graph import stochastic_block_model
+
+        g = stochastic_block_model([10, 10], [[1.0, 0.0], [0.0, 1.0]], seed=2)
+        labels = weakly_connected_components(g)
+        assert labels[0] != labels[10]
+
+    def test_validation(self):
+        from repro.graph import stochastic_block_model
+
+        with pytest.raises(ParameterError):
+            stochastic_block_model([10], [[0.5, 0.5]], seed=0)
+        with pytest.raises(ParameterError):
+            stochastic_block_model([10, 10], [[0.5, 0.1], [0.2, 0.5]], seed=0)
+        with pytest.raises(ParameterError):
+            stochastic_block_model([10, 10], [[0.5, 2.0], [2.0, 0.5]], seed=0)
+        with pytest.raises(ParameterError):
+            stochastic_block_model([10, 0], [[0.5, 0.1], [0.1, 0.5]], seed=0)
+
+    def test_deterministic(self):
+        assert self._two_block(seed=5) == self._two_block(seed=5)
+
+
+class TestCommunityChain:
+    def test_node_count(self):
+        from repro.graph import community_chain
+
+        g = community_chain(num_communities=3, size=20, bridge=2, seed=0)
+        assert g.n == 3 * 20 + 2 * 2
+
+    def test_connected(self):
+        from repro.graph import community_chain
+
+        g = community_chain(num_communities=4, size=25, bridge=3, p=0.3, seed=1)
+        assert weakly_connected_components(g).max() == 0
+
+    def test_bridge_nodes_have_degree_two(self):
+        from repro.graph import community_chain
+
+        g = community_chain(num_communities=2, size=15, bridge=4, p=0.4, seed=2)
+        for v in range(30, 34):
+            assert g.out_degree(v) == 2
+
+    def test_bridges_carry_high_betweenness(self):
+        from repro.graph import community_chain
+        from repro.paths import betweenness_centrality
+
+        g = community_chain(num_communities=2, size=20, bridge=2, p=0.4, seed=3)
+        bc = betweenness_centrality(g)
+        bridge_nodes = [40, 41]
+        assert min(bc[v] for v in bridge_nodes) > np.median(bc[:40])
+
+    def test_validation(self):
+        from repro.graph import community_chain
+
+        with pytest.raises(ParameterError):
+            community_chain(num_communities=1)
+        with pytest.raises(ParameterError):
+            community_chain(size=1)
+        with pytest.raises(ParameterError):
+            community_chain(p=0.0)
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+
+    def test_directed_path(self):
+        g = path_graph(4, directed=True)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.out_degree(v) == 2 for v in range(5))
+
+    def test_cycle_validation(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.out_degree(0) == 6
+        assert g.out_degree(1) == 1
+
+    def test_star_validation(self):
+        with pytest.raises(ParameterError):
+            star_graph(1)
+
+    def test_complete(self):
+        assert complete_graph(5).num_edges == 10
+
+    def test_complete_directed(self):
+        assert complete_graph(4, directed=True).num_edges == 12
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_validation(self):
+        with pytest.raises(ParameterError):
+            grid_graph(0, 3)
+
+    def test_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.n == 10
+        assert g.num_edges == 2 * 6 + 3  # two K4 + bridge chain
+
+    def test_barbell_validation(self):
+        with pytest.raises(ParameterError):
+            barbell_graph(2, 1)
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15
+        assert g.num_edges == 14
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree(0)
+        assert g.n == 1
+        assert g.num_edges == 0

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    from_edges,
+    giant_component,
+    weakly_connected_components,
+)
+
+
+@st.composite
+def edge_lists(draw, max_nodes=25, max_edges=60):
+    """Random (edges, n) pairs with ids below n."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return edges, n
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_undirected_symmetry(data):
+    """Every stored arc has its mirror in an undirected graph."""
+    edges, n = data
+    g = from_edges(edges, n=n)
+    for u, v in g.edges():
+        assert g.has_edge(u, v)
+        assert g.has_edge(v, u)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_edge_array_round_trip(data):
+    """Rebuilding from edge_array reproduces the graph exactly."""
+    edges, n = data
+    g = from_edges(edges, n=n)
+    again = from_edges(g.edge_array(), n=n)
+    assert again == g
+
+
+@given(edge_lists(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_counts_arcs(data, directed):
+    """Sum of out-degrees equals the number of stored arcs."""
+    edges, n = data
+    g = from_edges(edges, n=n, directed=directed)
+    arcs = g.num_edges if directed else 2 * g.num_edges
+    assert int(g.out_degrees().sum()) == arcs
+    assert int(g.in_degrees().sum()) == arcs
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_involution(data):
+    """Reversing twice is the identity (directed graphs)."""
+    edges, n = data
+    g = from_edges(edges, n=n, directed=True)
+    assert g.reverse().reverse() == g
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_component_labels_partition(data):
+    """Component labels are contiguous and edges never cross components."""
+    edges, n = data
+    g = from_edges(edges, n=n)
+    labels = weakly_connected_components(g)
+    assert labels.min() >= 0
+    assert set(labels) == set(range(labels.max() + 1))
+    for u, v in g.edges():
+        assert labels[u] == labels[v]
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_giant_component_is_largest(data):
+    """The giant component's size equals the max label frequency."""
+    edges, n = data
+    g = from_edges(edges, n=n)
+    labels = weakly_connected_components(g)
+    giant, nodes = giant_component(g)
+    assert giant.n == np.bincount(labels).max()
+    assert np.array_equal(np.sort(nodes), nodes)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_subgraph_of_all_nodes_is_identity(data):
+    """Inducing on the full node set reproduces the graph."""
+    edges, n = data
+    g = from_edges(edges, n=n)
+    assert g.subgraph(range(n)) == g

@@ -1,0 +1,148 @@
+"""Unit tests for edge-list I/O."""
+
+import gzip
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    barabasi_albert,
+    from_weighted_edges,
+    path_graph,
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+    write_weighted_edge_list,
+)
+
+
+class TestReadEdgeList:
+    def test_basic(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("# a comment\n0 1\n1 2\n")
+        graph, ids = read_edge_list(f)
+        assert graph.n == 3
+        assert graph.num_edges == 2
+        assert list(ids) == [0, 1, 2]
+
+    def test_sparse_ids_relabelled(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("10 300\n300 9999\n")
+        graph, ids = read_edge_list(f)
+        assert graph.n == 3
+        assert list(ids) == [10, 300, 9999]
+        assert graph.has_edge(0, 1)
+
+    def test_directed(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("0 1\n")
+        graph, _ = read_edge_list(f, directed=True)
+        assert graph.directed
+        assert not graph.has_edge(1, 0)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("\n# c\n0 1\n\n")
+        graph, _ = read_edge_list(f)
+        assert graph.num_edges == 1
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("0 1 42\n")
+        graph, _ = read_edge_list(f)
+        assert graph.num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(f)
+
+    def test_non_integer_rejected(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            read_edge_list(f)
+
+    def test_empty_file(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("# nothing\n")
+        graph, ids = read_edge_list(f)
+        assert graph.n == 0
+        assert ids.size == 0
+
+    def test_gzip(self, tmp_path):
+        f = tmp_path / "g.txt.gz"
+        with gzip.open(f, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        graph, _ = read_edge_list(f)
+        assert graph.num_edges == 2
+
+
+class TestWriteEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = barabasi_albert(60, 2, seed=4)
+        f = tmp_path / "ba.txt"
+        write_edge_list(g, f)
+        back, _ = read_edge_list(f)
+        assert back == g
+
+    def test_round_trip_gzip(self, tmp_path):
+        g = path_graph(10)
+        f = tmp_path / "p.txt.gz"
+        write_edge_list(g, f)
+        back, _ = read_edge_list(f)
+        assert back == g
+
+    def test_header_written(self, tmp_path):
+        g = path_graph(3)
+        f = tmp_path / "p.txt"
+        write_edge_list(g, f, header="hello\nworld")
+        text = f.read_text()
+        assert "# hello" in text
+        assert "# world" in text
+        assert "nodes=3" in text
+
+
+class TestWeightedIO:
+    def test_round_trip(self, tmp_path):
+        g = from_weighted_edges([(0, 1, 3), (1, 2, 7)])
+        f = tmp_path / "w.txt"
+        write_weighted_edge_list(g, f)
+        back, ids = read_weighted_edge_list(f)
+        assert back == g
+        assert list(ids) == [0, 1, 2]
+
+    def test_round_trip_directed_gzip(self, tmp_path):
+        g = from_weighted_edges([(0, 1, 2), (1, 0, 9)], directed=True)
+        f = tmp_path / "w.txt.gz"
+        write_weighted_edge_list(g, f)
+        back, _ = read_weighted_edge_list(f, directed=True)
+        assert back == g
+
+    def test_sparse_ids(self, tmp_path):
+        f = tmp_path / "w.txt"
+        f.write_text("100 500 3\n")
+        graph, ids = read_weighted_edge_list(f)
+        assert graph.n == 2
+        assert list(ids) == [100, 500]
+        assert graph.neighbor_weights(0)[0] == 3
+
+    def test_missing_weight_column(self, tmp_path):
+        f = tmp_path / "w.txt"
+        f.write_text("0 1\n")
+        with pytest.raises(GraphError, match="expected 'u v w'"):
+            read_weighted_edge_list(f)
+
+    def test_non_integer_weight(self, tmp_path):
+        f = tmp_path / "w.txt"
+        f.write_text("0 1 2.5\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            read_weighted_edge_list(f)
+
+    def test_empty_file(self, tmp_path):
+        f = tmp_path / "w.txt"
+        f.write_text("# nothing\n")
+        graph, ids = read_weighted_edge_list(f)
+        assert graph.n == 0
+        assert ids.size == 0

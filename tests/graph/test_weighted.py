@@ -1,0 +1,114 @@
+"""Unit tests for integer-weighted graphs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import WeightedCSRGraph, from_weighted_edges
+
+
+@pytest.fixture
+def triangle():
+    """Weighted triangle: 0-1 (w=1), 1-2 (w=2), 0-2 (w=4)."""
+    return from_weighted_edges([(0, 1, 1), (1, 2, 2), (0, 2, 4)])
+
+
+@pytest.fixture
+def weighted_digraph():
+    return from_weighted_edges(
+        [(0, 1, 2), (1, 2, 3), (0, 2, 10)], directed=True
+    )
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert triangle.n == 3
+        assert triangle.num_edges == 3
+        assert isinstance(triangle, WeightedCSRGraph)
+
+    def test_neighbor_weights_aligned(self, triangle):
+        nbrs = list(triangle.neighbors(0))
+        weights = list(triangle.neighbor_weights(0))
+        assert dict(zip(nbrs, weights)) == {1: 1, 2: 4}
+
+    def test_undirected_symmetric_weights(self, triangle):
+        assert dict(zip(triangle.neighbors(2), triangle.neighbor_weights(2))) == {
+            0: 4,
+            1: 2,
+        }
+
+    def test_directed_reverse_weights(self, weighted_digraph):
+        preds = list(weighted_digraph.predecessors(2))
+        weights = list(weighted_digraph.predecessor_weights(2))
+        assert dict(zip(preds, weights)) == {1: 3, 0: 10}
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphError):
+            from_weighted_edges([(0, 1, 0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            from_weighted_edges([(0, 1, -2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            from_weighted_edges([(0, 1)])
+
+    def test_self_loops_dropped(self):
+        g = from_weighted_edges([(0, 0, 3), (0, 1, 1)])
+        assert g.num_edges == 1
+
+    def test_parallel_edges_keep_min_weight(self):
+        g = from_weighted_edges([(0, 1, 5), (1, 0, 2), (0, 1, 9)])
+        assert g.num_edges == 1
+        assert g.neighbor_weights(0)[0] == 2
+
+    def test_weights_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 7
+
+
+class TestDerived:
+    def test_weighted_edges_iter(self, triangle):
+        assert sorted(triangle.weighted_edges()) == [
+            (0, 1, 1),
+            (0, 2, 4),
+            (1, 2, 2),
+        ]
+
+    def test_to_unweighted(self, triangle):
+        plain = triangle.to_unweighted()
+        assert not isinstance(plain, WeightedCSRGraph)
+        assert plain.num_edges == 3
+
+    def test_reverse_preserves_weights(self, weighted_digraph):
+        rev = weighted_digraph.reverse()
+        assert dict(zip(rev.neighbors(2), rev.neighbor_weights(2))) == {1: 3, 0: 10}
+        assert rev.reverse() == weighted_digraph
+
+    def test_remove_nodes_keeps_weights(self, triangle):
+        cut = triangle.remove_nodes([1])
+        assert isinstance(cut, WeightedCSRGraph)
+        assert sorted(cut.weighted_edges()) == [(0, 2, 4)]
+
+    def test_subgraph_keeps_weights(self, triangle):
+        sub = triangle.subgraph([0, 2])
+        assert sorted(sub.weighted_edges()) == [(0, 1, 4)]
+
+    def test_eq_considers_weights(self):
+        a = from_weighted_edges([(0, 1, 1)])
+        b = from_weighted_edges([(0, 1, 2)])
+        assert a != b
+        assert a == from_weighted_edges([(0, 1, 1)])
+
+
+class TestUnweightedAlgorithmsStillWork:
+    def test_bfs_treats_edges_as_hops(self, triangle):
+        from repro.paths import bfs_distances
+
+        assert list(bfs_distances(triangle, 0)) == [0, 1, 1]
+
+    def test_components(self, triangle):
+        from repro.graph import weakly_connected_components
+
+        assert set(weakly_connected_components(triangle)) == {0}

@@ -1,0 +1,163 @@
+"""Unit tests for the node-BC approximation subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import (
+    barbell_graph,
+    erdos_renyi,
+    path_graph,
+    random_directed,
+    star_graph,
+)
+from repro.nodebc import (
+    adaptive_betweenness,
+    approx_betweenness,
+    rk_sample_size,
+    top_k_nodes,
+    vertex_diameter_upper_bound,
+)
+from repro.paths import betweenness_centrality
+
+
+class TestVertexDiameter:
+    def test_path_graph(self):
+        g = path_graph(10)
+        bound = vertex_diameter_upper_bound(g, tries=6, seed=0)
+        assert bound >= 10  # the whole path is one shortest path
+
+    def test_star(self):
+        g = star_graph(20)
+        bound = vertex_diameter_upper_bound(g, tries=6, seed=0)
+        assert bound >= 3
+
+    def test_at_least_two(self):
+        g = star_graph(2)
+        assert vertex_diameter_upper_bound(g, seed=0) >= 2
+
+    def test_directed_has_slack(self):
+        g = random_directed(50, 200, seed=0)
+        assert vertex_diameter_upper_bound(g, seed=0) >= 2
+
+
+class TestRKSampleSize:
+    def test_decreases_with_eps(self):
+        assert rk_sample_size(10, 0.05, 0.1) < rk_sample_size(10, 0.01, 0.1)
+
+    def test_grows_with_diameter(self):
+        assert rk_sample_size(100, 0.01, 0.1) >= rk_sample_size(4, 0.01, 0.1)
+
+    def test_grows_with_confidence(self):
+        assert rk_sample_size(10, 0.01, 0.01) > rk_sample_size(10, 0.01, 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            rk_sample_size(1, 0.01, 0.1)
+        with pytest.raises(ParameterError):
+            rk_sample_size(10, 0.0, 0.1)
+        with pytest.raises(ParameterError):
+            rk_sample_size(10, 0.01, 1.5)
+
+
+class TestApproxBetweenness:
+    def test_within_guarantee_on_star(self):
+        g = star_graph(30)
+        eps = 0.02
+        estimate = approx_betweenness(g, eps=eps, delta=0.1, seed=0)
+        exact = betweenness_centrality(g)
+        assert np.all(np.abs(estimate.values - exact) <= estimate.radius)
+        assert estimate.radius == eps * g.num_ordered_pairs
+
+    def test_within_guarantee_random(self):
+        g = erdos_renyi(40, 0.12, seed=1)
+        estimate = approx_betweenness(g, eps=0.02, delta=0.1, seed=2)
+        exact = betweenness_centrality(g)
+        assert np.all(np.abs(estimate.values - exact) <= estimate.radius)
+
+    def test_normalized(self):
+        g = star_graph(15)
+        estimate = approx_betweenness(g, eps=0.05, delta=0.2, seed=3)
+        normalized = estimate.normalized(g)
+        assert normalized.max() <= 1.0 + 1e-9
+
+    def test_top_k_accessor(self):
+        g = barbell_graph(5, 3)
+        estimate = approx_betweenness(g, eps=0.02, delta=0.1, seed=4)
+        top = estimate.top_k(3)
+        assert set(top).issubset({4, 5, 6, 7, 8})
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            approx_betweenness(path_graph(1))
+
+
+class TestAdaptiveBetweenness:
+    def test_within_radius(self):
+        g = erdos_renyi(40, 0.12, seed=5)
+        estimate = adaptive_betweenness(g, eps=0.02, delta=0.1, seed=6)
+        exact = betweenness_centrality(g)
+        assert np.all(np.abs(estimate.values - exact) <= estimate.radius + 1e-9)
+
+    def test_certifies_requested_accuracy(self):
+        g = erdos_renyi(40, 0.15, seed=7)
+        eps = 0.05
+        estimate = adaptive_betweenness(g, eps=eps, delta=0.1, seed=8)
+        assert estimate.radius <= eps * g.num_ordered_pairs + 1e-9
+
+    def test_beats_rk_on_long_diameter_low_variance_graphs(self):
+        """On a grid the VC term dominates RK while the empirical
+        variance stays moderate, so the adaptive rule stops earlier."""
+        from repro.graph import grid_graph
+
+        g = grid_graph(25, 25)
+        eps, delta = 0.02, 0.1
+        fixed = approx_betweenness(g, eps=eps, delta=delta, seed=10)
+        adaptive = adaptive_betweenness(g, eps=eps, delta=delta, seed=11)
+        assert adaptive.num_samples <= fixed.num_samples
+
+    def test_batch_growth(self):
+        g = erdos_renyi(40, 0.12, seed=12)
+        estimate = adaptive_betweenness(
+            g, eps=0.01, delta=0.1, batch=200, growth=2.0, seed=13
+        )
+        assert estimate.iterations >= 2
+
+    def test_max_samples_cap(self):
+        g = erdos_renyi(40, 0.12, seed=14)
+        estimate = adaptive_betweenness(
+            g, eps=1e-6, delta=0.1, batch=100, max_samples=500, seed=15
+        )
+        assert estimate.num_samples <= 500
+
+    def test_validation(self):
+        g = path_graph(5)
+        with pytest.raises(ParameterError):
+            adaptive_betweenness(g, batch=0)
+        with pytest.raises(ParameterError):
+            adaptive_betweenness(g, growth=1.0)
+        with pytest.raises(ParameterError):
+            adaptive_betweenness(g, eps=0.0)
+
+
+class TestTopK:
+    def test_barbell_centers(self):
+        g = barbell_graph(6, 3)
+        top = top_k_nodes(g, 3, eps=0.01, delta=0.1, seed=16)
+        assert set(top).issubset({5, 6, 7, 8, 9})
+
+    def test_star_hub_first(self):
+        g = star_graph(25)
+        top = top_k_nodes(g, 1, eps=0.02, delta=0.1, seed=17)
+        assert top == [0]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            top_k_nodes(path_graph(5), 0)
+
+    def test_matches_exact_ranking_roughly(self):
+        g = erdos_renyi(50, 0.12, seed=18)
+        exact = betweenness_centrality(g)
+        exact_top = set(np.argsort(exact)[::-1][:5].tolist())
+        approx_top = set(top_k_nodes(g, 5, eps=0.005, delta=0.1, seed=19))
+        assert len(exact_top & approx_top) >= 3

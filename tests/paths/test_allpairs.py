@@ -1,0 +1,42 @@
+"""Unit tests for the all-pairs distance/sigma matrices."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import erdos_renyi, random_directed
+from repro.paths import all_pairs_sigma, bfs_sigma
+
+
+class TestAllPairs:
+    def test_matches_per_source_bfs(self, grid3x3):
+        dist, sigma = all_pairs_sigma(grid3x3)
+        for s in range(grid3x3.n):
+            d, sg = bfs_sigma(grid3x3, s)
+            assert np.array_equal(dist[s], d)
+            assert np.array_equal(sigma[s], sg)
+
+    def test_diagonal_conventions(self, grid3x3):
+        dist, sigma = all_pairs_sigma(grid3x3)
+        assert np.all(np.diag(dist) == 0)
+        assert np.all(np.diag(sigma) == 1.0)
+
+    def test_symmetric_for_undirected(self, random_graph):
+        dist, sigma = all_pairs_sigma(random_graph)
+        assert np.array_equal(dist, dist.T)
+        assert np.array_equal(sigma, sigma.T)
+
+    def test_directed_asymmetry(self):
+        g = random_directed(20, 60, seed=0)
+        dist, _ = all_pairs_sigma(g)
+        assert not np.array_equal(dist, dist.T)
+
+    def test_unreachable_is_minus_one(self, two_triangles):
+        dist, sigma = all_pairs_sigma(two_triangles)
+        assert dist[0, 3] == -1
+        assert sigma[0, 3] == 0.0
+
+    def test_size_guard(self):
+        g = erdos_renyi(30, 0.1, seed=0)
+        with pytest.raises(GraphError):
+            all_pairs_sigma(g, max_nodes=10)

@@ -1,0 +1,96 @@
+"""Unit tests for the vectorized BFS engine."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, path_graph
+from repro.paths import bfs_distances, bfs_sigma
+
+
+class TestDistances:
+    def test_path_graph(self, path5):
+        assert list(bfs_distances(path5, 0)) == [0, 1, 2, 3, 4]
+
+    def test_from_middle(self, path5):
+        assert list(bfs_distances(path5, 2)) == [2, 1, 0, 1, 2]
+
+    def test_unreachable_marked(self, two_triangles):
+        dist = bfs_distances(two_triangles, 0)
+        assert list(dist[:3]) == [0, 1, 1]
+        assert list(dist[3:]) == [-1, -1, -1]
+
+    def test_directed_follows_arcs(self, directed_diamond):
+        assert list(bfs_distances(directed_diamond, 0)) == [0, 1, 1, 2]
+        assert list(bfs_distances(directed_diamond, 3)) == [-1, -1, -1, 0]
+
+    def test_reverse_direction(self, directed_diamond):
+        # distances TO node 3
+        assert list(bfs_distances(directed_diamond, 3, reverse=True)) == [2, 1, 1, 0]
+
+    def test_max_depth(self, path5):
+        dist = bfs_distances(path5, 0, max_depth=2)
+        assert list(dist) == [0, 1, 2, -1, -1]
+
+    def test_isolated_source(self):
+        g = from_edges([(1, 2)], n=3)
+        assert list(bfs_distances(g, 0)) == [0, -1, -1]
+
+
+class TestSigma:
+    def test_single_paths(self, path5):
+        _, sigma = bfs_sigma(path5, 0)
+        assert list(sigma) == [1, 1, 1, 1, 1]
+
+    def test_diamond_two_paths(self, diamond):
+        _, sigma = bfs_sigma(diamond, 0)
+        assert sigma[3] == 2.0
+
+    def test_grid_binomial_counts(self, grid3x3):
+        # paths from corner (0,0) to (i,j) = C(i+j, i)
+        _, sigma = bfs_sigma(grid3x3, 0)
+        expected = {0: 1, 1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 1, 7: 3, 8: 6}
+        for node, count in expected.items():
+            assert sigma[node] == count
+
+    def test_complete_graph(self, k4):
+        dist, sigma = bfs_sigma(k4, 0)
+        assert list(dist) == [0, 1, 1, 1]
+        assert list(sigma) == [1, 1, 1, 1]
+
+    def test_cycle_even_opposite(self, cycle6):
+        _, sigma = bfs_sigma(cycle6, 0)
+        assert sigma[3] == 2.0  # two ways around
+        assert sigma[1] == 1.0
+
+    def test_unreachable_sigma_zero(self, two_triangles):
+        _, sigma = bfs_sigma(two_triangles, 0)
+        assert list(sigma[3:]) == [0.0, 0.0, 0.0]
+
+    def test_target_early_stop_exact(self, grid3x3):
+        dist, sigma = bfs_sigma(grid3x3, 0, target=4)
+        assert dist[4] == 2
+        assert sigma[4] == 2.0
+        # the far corner is beyond the stopped level
+        assert dist[8] == -1
+
+    def test_directed_sigma(self, directed_diamond):
+        _, sigma = bfs_sigma(directed_diamond, 0)
+        assert sigma[3] == 2.0
+
+    def test_reverse_sigma(self, directed_diamond):
+        _, sigma = bfs_sigma(directed_diamond, 3, reverse=True)
+        assert sigma[0] == 2.0
+
+    def test_matches_networkx_counts(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.Graph(list(random_graph.edges()))
+        nxg.add_nodes_from(range(random_graph.n))
+        dist, sigma = bfs_sigma(random_graph, 0)
+        lengths = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(random_graph.n):
+            if v in lengths:
+                assert dist[v] == lengths[v]
+                paths = list(nx.all_shortest_paths(nxg, 0, v)) if v != 0 else [[0]]
+                assert sigma[v] == len(paths)
+            else:
+                assert dist[v] == -1

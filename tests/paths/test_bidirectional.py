@@ -1,0 +1,104 @@
+"""Unit tests for the balanced bidirectional BFS."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import cycle_graph, erdos_renyi, from_edges, random_directed
+from repro.paths import bfs_sigma, bidirectional_sigma
+
+
+class TestBasics:
+    def test_adjacent_pair(self, path5):
+        r = bidirectional_sigma(path5, 0, 1)
+        assert r.distance == 1
+        assert r.sigma_st == 1.0
+
+    def test_path_ends(self, path5):
+        r = bidirectional_sigma(path5, 0, 4)
+        assert r.distance == 4
+        assert r.sigma_st == 1.0
+
+    def test_diamond(self, diamond):
+        r = bidirectional_sigma(diamond, 0, 3)
+        assert r.distance == 2
+        assert r.sigma_st == 2.0
+
+    def test_cycle_opposite(self):
+        g = cycle_graph(8)
+        r = bidirectional_sigma(g, 0, 4)
+        assert r.distance == 4
+        assert r.sigma_st == 2.0
+
+    def test_unreachable_returns_none(self, two_triangles):
+        assert bidirectional_sigma(two_triangles, 0, 4) is None
+
+    def test_directed_one_way(self, directed_diamond):
+        assert bidirectional_sigma(directed_diamond, 3, 0) is None
+        r = bidirectional_sigma(directed_diamond, 0, 3)
+        assert r.distance == 2
+        assert r.sigma_st == 2.0
+
+    def test_same_endpoints_rejected(self, path5):
+        with pytest.raises(ParameterError):
+            bidirectional_sigma(path5, 2, 2)
+
+
+class TestCutInvariants:
+    def test_cut_weights_sum_to_sigma(self, grid3x3):
+        r = bidirectional_sigma(grid3x3, 0, 8)
+        assert r.cut_weights.sum() == r.sigma_st
+        assert r.sigma_st == 6.0  # C(4, 2)
+
+    def test_cut_nodes_on_shortest_paths(self, grid3x3):
+        r = bidirectional_sigma(grid3x3, 0, 8)
+        for v in r.cut_nodes:
+            assert r.dist_forward[v] == r.cut_level
+            assert r.dist_backward[v] == r.distance - r.cut_level
+
+    def test_edges_explored_positive(self, barbell):
+        r = bidirectional_sigma(barbell, 0, 12)
+        assert r.edges_explored > 0
+
+    def test_bidirectional_cheaper_than_full_bfs_on_barbell(self, barbell):
+        # adjacent clique nodes: meeting happens immediately
+        r = bidirectional_sigma(barbell, 0, 1)
+        total_arcs = 2 * barbell.num_edges
+        assert r.edges_explored < total_arcs
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_forward_bfs_undirected(self, seed):
+        g = erdos_renyi(40, 0.1, seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            s, t = rng.choice(40, size=2, replace=False)
+            s, t = int(s), int(t)
+            dist, sigma = bfs_sigma(g, s)
+            r = bidirectional_sigma(g, s, t)
+            if dist[t] == -1:
+                assert r is None
+            else:
+                assert r.distance == dist[t]
+                assert r.sigma_st == pytest.approx(sigma[t])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_forward_bfs_directed(self, seed):
+        g = random_directed(50, 250, seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(30):
+            s, t = rng.choice(50, size=2, replace=False)
+            s, t = int(s), int(t)
+            dist, sigma = bfs_sigma(g, s)
+            r = bidirectional_sigma(g, s, t)
+            if dist[t] == -1:
+                assert r is None
+            else:
+                assert r.distance == dist[t]
+                assert r.sigma_st == pytest.approx(sigma[t])
+
+    def test_star_hub_cut(self, star6):
+        r = bidirectional_sigma(star6, 1, 2)
+        assert r.distance == 2
+        assert r.sigma_st == 1.0

@@ -1,0 +1,78 @@
+"""Unit tests for exact betweenness (Brandes), ordered-pair convention."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, random_directed, star_graph
+from repro.paths import betweenness_centrality
+
+
+class TestClosedForms:
+    def test_path_graph(self, path5):
+        # ordered pairs: interior node i separates 2*(i)*(4-i) pairs
+        bc = betweenness_centrality(path5)
+        assert list(bc) == [0.0, 6.0, 8.0, 6.0, 0.0]
+
+    def test_star_hub(self):
+        g = star_graph(6)
+        bc = betweenness_centrality(g)
+        # hub mediates all 5*4 ordered leaf pairs
+        assert bc[0] == 20.0
+        assert all(bc[i] == 0.0 for i in range(1, 6))
+
+    def test_complete_graph_zero(self, k4):
+        bc = betweenness_centrality(k4)
+        assert np.allclose(bc, 0.0)
+
+    def test_cycle6(self, cycle6):
+        bc = betweenness_centrality(cycle6)
+        # symmetry: all equal; value = 2 * (1*1/1 ... ) per node
+        assert np.allclose(bc, bc[0])
+        assert bc[0] > 0
+
+    def test_diamond_split(self, diamond):
+        bc = betweenness_centrality(diamond)
+        # every node carries half of the opposite pair's traffic:
+        # 1 and 2 split 0<->3, while 0 and 3 split 1<->2
+        assert bc[1] == pytest.approx(1.0)
+        assert bc[2] == pytest.approx(1.0)
+        assert bc[0] == pytest.approx(1.0)
+        assert bc[3] == pytest.approx(1.0)
+
+    def test_disconnected(self, two_triangles):
+        bc = betweenness_centrality(two_triangles)
+        assert np.allclose(bc, 0.0)
+
+    def test_directed_path(self):
+        g = from_edges([(0, 1), (1, 2)], n=3, directed=True)
+        bc = betweenness_centrality(g)
+        assert list(bc) == [0.0, 1.0, 0.0]
+
+
+class TestCrossValidation:
+    def test_undirected_vs_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.Graph(list(random_graph.edges()))
+        nxg.add_nodes_from(range(random_graph.n))
+        ours = betweenness_centrality(random_graph)
+        ref = nx.betweenness_centrality(nxg, normalized=False)
+        # ordered-pair convention = 2x the unordered networkx value
+        expected = np.array([2 * ref[i] for i in range(random_graph.n)])
+        assert np.allclose(ours, expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_directed_vs_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        g = random_directed(30, 120, seed=seed)
+        nxg = nx.DiGraph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        ours = betweenness_centrality(g)
+        ref = nx.betweenness_centrality(nxg, normalized=False)
+        expected = np.array([ref[i] for i in range(g.n)])
+        assert np.allclose(ours, expected)
+
+    def test_sources_subset_partial_sum(self, barbell):
+        full = betweenness_centrality(barbell)
+        half_a = betweenness_centrality(barbell, sources=range(0, 7))
+        half_b = betweenness_centrality(barbell, sources=range(7, 13))
+        assert np.allclose(half_a + half_b, full)

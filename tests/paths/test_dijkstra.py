@@ -1,0 +1,117 @@
+"""Unit tests for weighted shortest paths (Dijkstra with sigma)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import from_edges, from_weighted_edges
+from repro.paths import dijkstra_sigma, weighted_distances
+
+
+@pytest.fixture
+def weighted_diamond():
+    """0-1-3 costs 1+1=2; 0-2-3 costs 1+1=2; direct 0-3 costs 3."""
+    return from_weighted_edges(
+        [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1), (0, 3, 3)]
+    )
+
+
+class TestDistances:
+    def test_diamond(self, weighted_diamond):
+        dist = weighted_distances(weighted_diamond, 0)
+        assert list(dist) == [0, 1, 1, 2]
+
+    def test_long_edge_not_shortest(self, weighted_diamond):
+        dist, sigma, _ = dijkstra_sigma(weighted_diamond, 0)
+        assert dist[3] == 2
+        assert sigma[3] == 2.0  # two cheap routes, direct edge loses
+
+    def test_direct_edge_wins_when_cheap(self):
+        g = from_weighted_edges([(0, 1, 5), (1, 2, 5), (0, 2, 3)])
+        dist, sigma, _ = dijkstra_sigma(g, 0)
+        assert dist[2] == 3
+        assert sigma[2] == 1.0
+
+    def test_tie_counting(self):
+        # 0->3 via 1 (1+2), via 2 (2+1), direct (3): three paths cost 3
+        g = from_weighted_edges(
+            [(0, 1, 1), (1, 3, 2), (0, 2, 2), (2, 3, 1), (0, 3, 3)],
+            directed=True,
+        )
+        dist, sigma, _ = dijkstra_sigma(g, 0)
+        assert dist[3] == 3
+        assert sigma[3] == 3.0
+
+    def test_unreachable(self):
+        g = from_weighted_edges([(0, 1, 1)], n=3)
+        dist, sigma, _ = dijkstra_sigma(g, 0)
+        assert dist[2] == -1
+        assert sigma[2] == 0.0
+
+    def test_reverse_direction(self):
+        g = from_weighted_edges([(0, 1, 4), (1, 2, 5)], directed=True)
+        dist, _, _ = dijkstra_sigma(g, 2, reverse=True)
+        assert list(dist) == [9, 5, 0]
+
+    def test_target_early_stop(self, weighted_diamond):
+        dist, sigma, order = dijkstra_sigma(weighted_diamond, 0, target=1)
+        assert dist[1] == 1
+        assert sigma[1] == 1.0
+        assert int(order[-1]) == 1
+
+    def test_finalization_order_sorted_by_distance(self, weighted_diamond):
+        dist, _, order = dijkstra_sigma(weighted_diamond, 0)
+        distances = dist[order]
+        assert list(distances) == sorted(distances)
+
+    def test_requires_weighted_graph(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            dijkstra_sigma(g, 0)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(seed)
+        n = 25
+        triples = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.15:
+                    triples.append((u, v, int(rng.integers(1, 6))))
+        g = from_weighted_edges(triples, n=n)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_weighted_edges_from(triples)
+
+        dist, sigma, _ = dijkstra_sigma(g, 0)
+        lengths = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(n):
+            if v in lengths:
+                assert dist[v] == lengths[v]
+                if v != 0:
+                    paths = list(
+                        nx.all_shortest_paths(nxg, 0, v, weight="weight")
+                    )
+                    assert sigma[v] == len(paths)
+            else:
+                assert dist[v] == -1
+
+    def test_unit_weights_match_bfs(self):
+        from repro.paths import bfs_sigma
+
+        rng = np.random.default_rng(7)
+        triples = []
+        for u in range(30):
+            for v in range(u + 1, 30):
+                if rng.random() < 0.12:
+                    triples.append((u, v, 1))
+        g = from_weighted_edges(triples, n=30)
+        plain = from_edges([(u, v) for u, v, _ in triples], n=30)
+        for s in range(0, 30, 5):
+            wd, ws, _ = dijkstra_sigma(g, s)
+            bd, bs = bfs_sigma(plain, s)
+            assert np.array_equal(wd, bd)
+            assert np.array_equal(ws, bs)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the weighted shortest-path engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges, from_weighted_edges
+from repro.paths import bfs_sigma, dijkstra_sigma
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes=15, max_weight=6):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=2 * n, unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max_weight),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    triples = [(u, v, w) for (u, v), w in zip(edges, weights)]
+    return from_weighted_edges(triples, n=n), triples, n
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_triangle_inequality(data):
+    """d(s, v) <= d(s, u) + w(u, v) for every edge."""
+    graph, triples, n = data
+    dist, _, _ = dijkstra_sigma(graph, 0)
+    for u, v, w in triples:
+        for a, b in ((u, v), (v, u)):
+            if dist[a] >= 0:
+                assert dist[b] >= 0
+                assert dist[b] <= dist[a] + w
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_unit_weights_reduce_to_bfs(data):
+    """With all weights forced to 1, Dijkstra equals BFS exactly."""
+    _, triples, n = data
+    unit = from_weighted_edges([(u, v, 1) for u, v, _ in triples], n=n)
+    plain = from_edges([(u, v) for u, v, _ in triples], n=n)
+    for s in range(min(n, 4)):
+        wd, ws, _ = dijkstra_sigma(unit, s)
+        bd, bs = bfs_sigma(plain, s)
+        assert np.array_equal(wd, bd)
+        assert np.array_equal(ws, bs)
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_sigma_at_least_one_when_reachable(data):
+    """Every reachable node has at least one shortest path."""
+    graph, _, _ = data
+    dist, sigma, _ = dijkstra_sigma(graph, 0)
+    reachable = dist >= 0
+    assert np.all(sigma[reachable] >= 1.0)
+    assert np.all(sigma[~reachable] == 0.0)
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_symmetry_on_undirected(data):
+    """d(0, v) from node 0 equals d(v, 0) computed in reverse."""
+    graph, _, n = data
+    forward, _, _ = dijkstra_sigma(graph, 0)
+    backward, _, _ = dijkstra_sigma(graph, 0, reverse=True)
+    assert np.array_equal(forward, backward)
+
+
+@given(weighted_graphs(), st.integers(min_value=0, max_value=14))
+@settings(max_examples=50, deadline=None)
+def test_early_stop_matches_full_run(data, target_idx):
+    """Stopping at a target yields the same distance and sigma."""
+    graph, _, n = data
+    target = target_idx % n
+    if target == 0:
+        target = n - 1
+    full_dist, full_sigma, _ = dijkstra_sigma(graph, 0)
+    dist, sigma, _ = dijkstra_sigma(graph, 0, target=target)
+    assert dist[target] == full_dist[target]
+    if full_dist[target] >= 0:
+        assert sigma[target] == full_sigma[target]

@@ -1,0 +1,35 @@
+"""Unit tests for the SSSP engine dispatch."""
+
+import numpy as np
+
+from repro.graph import from_edges, from_weighted_edges
+from repro.paths._dispatch import is_weighted, shortest_path_counts
+
+
+class TestDispatch:
+    def test_is_weighted(self):
+        assert not is_weighted(from_edges([(0, 1)]))
+        assert is_weighted(from_weighted_edges([(0, 1, 2)]))
+
+    def test_unweighted_route(self):
+        g = from_edges([(0, 1), (1, 2)])
+        dist, sigma = shortest_path_counts(g, 0)
+        assert list(dist) == [0, 1, 2]
+        assert list(sigma) == [1.0, 1.0, 1.0]
+
+    def test_weighted_route(self):
+        g = from_weighted_edges([(0, 1, 5), (1, 2, 5), (0, 2, 3)])
+        dist, sigma = shortest_path_counts(g, 0)
+        assert list(dist) == [0, 5, 3]
+
+    def test_reverse_flag(self):
+        g = from_weighted_edges([(0, 1, 4)], directed=True)
+        dist, _ = shortest_path_counts(g, 1, reverse=True)
+        assert list(dist) == [4, 0]
+
+    def test_target_flag(self):
+        g = from_weighted_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        dist, sigma = shortest_path_counts(g, 0, target=1)
+        assert dist[1] == 1
+        # nodes beyond the target may be unexplored
+        assert sigma[1] == 1.0

@@ -1,0 +1,108 @@
+"""Unit tests for exact group betweenness centrality."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import from_edges, star_graph
+from repro.paths import exact_gbc, normalized_gbc
+
+
+class TestEndpointConvention:
+    def test_empty_group(self, path5):
+        assert exact_gbc(path5, []) == 0.0
+
+    def test_single_endpoint_node_counts_its_pairs(self, path5):
+        # node 0 covers: all pairs with endpoint 0 => 2*4 = 8
+        assert exact_gbc(path5, [0]) == 8.0
+
+    def test_middle_node(self, path5):
+        # node 2: endpoint pairs 8, plus interior pairs {0,1}x{3,4} both
+        # directions = 8 more
+        assert exact_gbc(path5, [2]) == 16.0
+
+    def test_full_group_covers_everything(self, path5):
+        assert exact_gbc(path5, range(5)) == path5.num_ordered_pairs
+
+    def test_star_hub(self, star6):
+        # hub covers every connected ordered pair
+        assert exact_gbc(star6, [0]) == star6.num_ordered_pairs
+
+    def test_star_leaf(self, star6):
+        # a leaf covers only its own 2*5 endpoint pairs
+        assert exact_gbc(star6, [1]) == 10.0
+
+    def test_diamond_partial_fraction(self, diamond):
+        # {1}: endpoints 6 pairs + half of 0<->3 traffic (2 pairs * 1/2)
+        assert exact_gbc(diamond, [1]) == pytest.approx(7.0)
+
+    def test_diamond_both_middles(self, diamond):
+        # {1,2} covers everything
+        assert exact_gbc(diamond, [1, 2]) == diamond.num_ordered_pairs
+
+    def test_disconnected_pairs_contribute_zero(self, two_triangles):
+        # {0}: endpoint pairs within its triangle only => 2*2 = 4
+        assert exact_gbc(two_triangles, [0]) == 4.0
+
+    def test_directed(self, directed_diamond):
+        # {1}: endpoint pairs (0->1, 1->3) + half of 0->3 = 2.5
+        assert exact_gbc(directed_diamond, [1]) == pytest.approx(2.5)
+
+    def test_duplicates_ignored(self, path5):
+        assert exact_gbc(path5, [2, 2, 2]) == exact_gbc(path5, [2])
+
+    def test_bad_ids_rejected(self, path5):
+        with pytest.raises(GraphError):
+            exact_gbc(path5, [99])
+
+
+class TestInternalOnlyConvention:
+    def test_path_middle(self, path5):
+        # interior-only: node 2 covers {0,1}x{3,4} and 1<->3 style pairs
+        # where 2 is strictly inside: pairs (0,3),(0,4),(1,3),(1,4) both
+        # directions = 8
+        assert exact_gbc(path5, [2], include_endpoints=False) == 8.0
+
+    def test_endpoint_node_covers_nothing(self, path5):
+        assert exact_gbc(path5, [0], include_endpoints=False) == 0.0
+
+    def test_star_hub_internal(self, star6):
+        # hub strictly inside every leaf-to-leaf pair: 5*4 = 20
+        assert exact_gbc(star6, [0], include_endpoints=False) == 20.0
+
+    def test_group_with_endpoints_inside(self, path5):
+        # C = {1, 3}: pair (1,3) has no interior group node (2 is not in C)
+        # pair (0,2): 1 inside => covered; (0,4): both inside
+        value = exact_gbc(path5, [1, 3], include_endpoints=False)
+        # covered ordered pairs: (0,2),(0,3),(0,4),(2,4),(1,4),(1,3)?
+        # (1,3): interior is {2}, not in C => NOT covered
+        # list: (0,2),(2,0),(0,3),(3,0),(0,4),(4,0),(2,4),(4,2),(1,4),(4,1),(1,3)x no,(3,1) no,(2,3)? interior empty no,(1,2)? no
+        assert value == 10.0
+
+    def test_internal_at_most_endpoint_version(self, random_graph):
+        group = [0, 3, 7]
+        internal = exact_gbc(random_graph, group, include_endpoints=False)
+        endpoint = exact_gbc(random_graph, group, include_endpoints=True)
+        assert internal <= endpoint + 1e-9
+
+    def test_matches_brandes_for_singletons(self, random_graph):
+        from repro.paths import betweenness_centrality
+
+        bc = betweenness_centrality(random_graph)
+        for v in [0, 5, 11]:
+            assert exact_gbc(
+                random_graph, [v], include_endpoints=False
+            ) == pytest.approx(bc[v])
+
+
+class TestNormalized:
+    def test_range(self, barbell):
+        value = normalized_gbc(barbell, [6])
+        assert 0.0 < value < 1.0
+
+    def test_full_cover_is_one_when_connected(self, k4):
+        assert normalized_gbc(k4, range(4)) == 1.0
+
+    def test_monotone_in_group(self, barbell):
+        small = normalized_gbc(barbell, [5])
+        large = normalized_gbc(barbell, [5, 6])
+        assert large >= small

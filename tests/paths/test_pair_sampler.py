@@ -1,0 +1,93 @@
+"""Unit tests for the pair (DAG) sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import empty_graph, erdos_renyi, from_edges
+from repro.paths import PairSampler, bfs_sigma, shortest_path_dag
+
+
+class TestShortestPathDag:
+    def test_diamond_full_dag(self, diamond):
+        nodes, distance, _ = shortest_path_dag(diamond, 0, 3)
+        assert list(nodes) == [0, 1, 2, 3]
+        assert distance == 2
+
+    def test_path_graph(self, path5):
+        nodes, distance, _ = shortest_path_dag(path5, 0, 4)
+        assert list(nodes) == [0, 1, 2, 3, 4]
+        assert distance == 4
+
+    def test_excludes_off_dag_nodes(self, barbell):
+        # clique-mates of the endpoints are not on any shortest path
+        nodes, _, _ = shortest_path_dag(barbell, 0, 12)
+        assert 0 in nodes and 12 in nodes
+        assert 1 not in nodes  # parallel clique node, d(0,1)+d(1,12) > d
+
+    def test_unreachable_returns_none(self, two_triangles):
+        assert shortest_path_dag(two_triangles, 0, 4) is None
+
+    def test_directed(self, directed_diamond):
+        nodes, distance, _ = shortest_path_dag(directed_diamond, 0, 3)
+        assert list(nodes) == [0, 1, 2, 3]
+        assert shortest_path_dag(directed_diamond, 3, 0) is None
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dag_characterization(self, seed):
+        """v in DAG iff d(s,v) + d(v,t) == d(s,t)."""
+        g = erdos_renyi(30, 0.15, seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            s, t = (int(x) for x in rng.choice(30, size=2, replace=False))
+            result = shortest_path_dag(g, s, t)
+            dist_s, _ = bfs_sigma(g, s)
+            dist_t_rev, _ = bfs_sigma(g, t, reverse=True)
+            if dist_s[t] == -1:
+                assert result is None
+                continue
+            nodes, distance, _ = result
+            expected = {
+                v
+                for v in range(30)
+                if dist_s[v] >= 0
+                and dist_t_rev[v] >= 0
+                and dist_s[v] + dist_t_rev[v] == distance
+            }
+            assert set(nodes.tolist()) == expected
+
+
+class TestPairSampler:
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphError):
+            PairSampler(empty_graph(1))
+
+    def test_null_samples_on_disconnected(self, two_triangles):
+        sampler = PairSampler(two_triangles, seed=0)
+        samples = [sampler.sample() for _ in range(100)]
+        assert any(s.is_null for s in samples)
+        assert any(not s.is_null for s in samples)
+
+    def test_counters(self, grid3x3):
+        sampler = PairSampler(grid3x3, seed=1)
+        for _ in range(10):
+            sampler.sample()
+        assert sampler.total_samples == 10
+        assert sampler.total_edges_explored > 0
+
+    def test_reproducible(self, grid3x3):
+        a = PairSampler(grid3x3, seed=2)
+        b = PairSampler(grid3x3, seed=2)
+        for _ in range(10):
+            x, y = a.sample(), b.sample()
+            assert np.array_equal(x.nodes, y.nodes)
+
+    def test_dag_superset_of_any_sampled_path(self, grid3x3):
+        from repro.paths import PathSampler
+
+        pair = PairSampler(grid3x3, seed=3)
+        path = PathSampler(grid3x3, seed=4)
+        for _ in range(20):
+            dag = pair.sample_pair(0, 8)
+            single = path.sample_pair(0, 8)
+            assert set(single.nodes.tolist()).issubset(set(dag.nodes.tolist()))

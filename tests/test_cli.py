@@ -1,0 +1,159 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "GrQc"])
+        assert args.algorithm == "adaalg"
+        assert args.k == 20
+        assert args.eps == 0.3
+
+    def test_run_requires_source(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_sources_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "GrQc", "--edge-list", "x.txt"]
+            )
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig4"])
+        assert args.name == "fig4"
+        assert args.preset == "smoke"
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+    def test_ablation_experiments_available(self):
+        for name in (
+            "ablation-base",
+            "ablation-work",
+            "ablation-endpoints",
+            "ablation-strategies",
+            "ablation-pairs",
+            "ablation-validation",
+            "ablation-localsearch",
+            "ablation-scaling",
+        ):
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "GrQc" in out
+        assert "LiveJournal" in out
+
+    def test_run_on_edge_list(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.txt"
+        lines = [f"0 {i}" for i in range(1, 20)]  # a star
+        edge_file.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "run",
+                "--edge-list",
+                str(edge_file),
+                "--algorithm",
+                "adaalg",
+                "-k",
+                "1",
+                "--eps",
+                "0.5",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "group (K=1): [0]" in out
+        assert "samples" in out
+
+    def test_run_puzis_on_edge_list(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.txt"
+        edge_file.write_text("0 1\n1 2\n2 3\n3 4\n")
+        code = main(
+            ["run", "--edge-list", str(edge_file), "--algorithm", "puzis", "-k", "1"]
+        )
+        assert code == 0
+        assert "group (K=1): [2]" in capsys.readouterr().out
+
+    def test_run_brute_whole_graph(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.txt"
+        edge_file.write_text("0 1\n1 2\n5 6\n")
+        code = main(
+            [
+                "run",
+                "--edge-list",
+                str(edge_file),
+                "--algorithm",
+                "brute",
+                "-k",
+                "1",
+                "--whole-graph",
+            ]
+        )
+        assert code == 0
+        assert "brute" in capsys.readouterr().out.lower()
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "paper_V" in out
+
+    def test_experiment_output_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "table1.csv"
+        assert main(["experiment", "table1", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "dataset" in out_file.read_text().splitlines()[0]
+
+    def test_compare_command(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.txt"
+        lines = [f"0 {i}" for i in range(1, 25)]
+        lines += [f"{i} {i + 1}" for i in range(1, 24)]
+        edge_file.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "compare",
+                "--edge-list",
+                str(edge_file),
+                "-k",
+                "2",
+                "--eps",
+                "0.5",
+                "--algorithms",
+                "adaalg",
+                "yoshida",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AdaAlg" in out
+        assert "YoshidaSketch" in out
+
+    def test_run_weighted_edge_list(self, tmp_path, capsys):
+        edge_file = tmp_path / "w.txt"
+        edge_file.write_text("0 1 1\n1 2 1\n2 3 1\n3 4 1\n")
+        code = main(
+            [
+                "run",
+                "--edge-list",
+                str(edge_file),
+                "--weighted",
+                "--algorithm",
+                "puzis",
+                "-k",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "group (K=1): [2]" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Property-based tests of group betweenness centrality invariants.
+
+The NP-hardness machinery of the paper rests on B(C) being a monotone
+submodular set function (that is what makes greedy max coverage a
+(1 - 1/e)-approximation).  These tests check those structural facts on
+random graphs and random groups, for both endpoint conventions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.paths import exact_gbc
+
+
+@st.composite
+def graph_and_groups(draw):
+    """A small random graph plus two nested groups and an extra node."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n - 1, max_size=2 * n)
+    )
+    small = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
+    extra = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
+    v = draw(st.integers(0, n - 1))
+    graph = from_edges(edges, n=n)
+    return graph, sorted(small), sorted(small | extra), v
+
+
+@given(graph_and_groups())
+@settings(max_examples=40, deadline=None)
+def test_monotonicity(data):
+    """B is monotone: adding nodes never decreases centrality."""
+    graph, small, large, _ = data
+    assert exact_gbc(graph, large) >= exact_gbc(graph, small) - 1e-9
+
+
+@given(graph_and_groups())
+@settings(max_examples=40, deadline=None)
+def test_submodularity(data):
+    """Marginal gain of a node shrinks as the group grows."""
+    graph, small, large, v = data
+    gain_small = exact_gbc(graph, set(small) | {v}) - exact_gbc(graph, small)
+    gain_large = exact_gbc(graph, set(large) | {v}) - exact_gbc(graph, large)
+    assert gain_large <= gain_small + 1e-9
+
+
+@given(graph_and_groups())
+@settings(max_examples=40, deadline=None)
+def test_bounded_by_pairs(data):
+    """0 <= B(C) <= n(n-1)."""
+    graph, small, large, _ = data
+    for group in (small, large):
+        value = exact_gbc(graph, group)
+        assert -1e-9 <= value <= graph.num_ordered_pairs + 1e-9
+
+
+@given(graph_and_groups())
+@settings(max_examples=30, deadline=None)
+def test_internal_below_endpoint_convention(data):
+    """Internal-only coverage is never above endpoint coverage."""
+    graph, small, _, _ = data
+    internal = exact_gbc(graph, small, include_endpoints=False)
+    endpoint = exact_gbc(graph, small, include_endpoints=True)
+    assert internal <= endpoint + 1e-9
+
+
+@given(graph_and_groups())
+@settings(max_examples=30, deadline=None)
+def test_monotonicity_internal_convention(data):
+    """Monotonicity also holds without endpoints."""
+    graph, small, large, _ = data
+    a = exact_gbc(graph, small, include_endpoints=False)
+    b = exact_gbc(graph, large, include_endpoints=False)
+    assert b >= a - 1e-9
+
+
+@given(graph_and_groups())
+@settings(max_examples=25, deadline=None)
+def test_puzis_update_consistency(data):
+    """The avoid-matrix evaluation (BruteForce._evaluate) agrees with the
+    BFS-based exact_gbc on arbitrary groups."""
+    from repro.algorithms.brute import BruteForce
+    from repro.paths import all_pairs_sigma
+
+    graph, small, large, _ = data
+    dist, sigma = all_pairs_sigma(graph)
+    connected = dist >= 0
+    np.fill_diagonal(connected, False)
+    safe = np.where(connected, sigma, 1.0)
+    base = np.where(connected, 1.0, 0.0)
+    for group in (small, large):
+        via_matrix = BruteForce._evaluate(group, dist, sigma, safe, base)
+        via_bfs = exact_gbc(graph, group)
+        assert via_matrix == pytest.approx(via_bfs)

@@ -1,0 +1,35 @@
+"""Package-level tests: public API surface and the README quickstart."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithm_names(self):
+        assert repro.AdaAlg.name == "AdaAlg"
+        assert repro.Hedge.name == "HEDGE"
+        assert repro.CentRa.name == "CentRa"
+        assert repro.Exhaust.name == "EXHAUST"
+        assert repro.PuzisGreedy.name == "PuzisGreedy"
+        assert repro.BruteForce.name == "BruteForce"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.ParameterError, repro.ReproError)
+        assert issubclass(repro.ParameterError, ValueError)
+        assert issubclass(repro.DatasetError, repro.ReproError)
+
+
+class TestQuickstart:
+    def test_readme_flow(self):
+        """The README quickstart must actually run."""
+        graph = repro.datasets.load("GrQc", seed=7)
+        result = repro.AdaAlg(eps=0.5, gamma=0.01, seed=7).run(graph, k=10)
+        assert len(result.group) == 10
+        assert result.num_samples > 0

@@ -1,0 +1,84 @@
+"""Packaging sanity: metadata, module layout, module executability."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+class TestLayout:
+    def test_src_layout(self):
+        import repro
+
+        path = Path(repro.__file__)
+        assert path.parent.name == "repro"
+        assert path.parent.parent.name == "src"
+
+    def test_every_subpackage_has_docstring(self):
+        import repro
+        import repro.algorithms
+        import repro.bounds
+        import repro.coverage
+        import repro.datasets
+        import repro.experiments
+        import repro.graph
+        import repro.nodebc
+        import repro.paths
+
+        for module in (
+            repro,
+            repro.graph,
+            repro.paths,
+            repro.coverage,
+            repro.bounds,
+            repro.algorithms,
+            repro.nodebc,
+            repro.datasets,
+            repro.experiments,
+        ):
+            assert module.__doc__, module.__name__
+
+    def test_public_classes_have_docstrings(self):
+        from repro import (
+            AdaAlg,
+            BruteForce,
+            CentRa,
+            CSRGraph,
+            Exhaust,
+            Hedge,
+            PathSampler,
+            PuzisGreedy,
+        )
+
+        for cls in (
+            AdaAlg,
+            Hedge,
+            CentRa,
+            Exhaust,
+            PuzisGreedy,
+            BruteForce,
+            CSRGraph,
+            PathSampler,
+        ):
+            assert cls.__doc__, cls.__name__
+
+
+class TestModuleExecution:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "GrQc" in result.stdout
+
+    def test_help_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "experiment" in result.stdout
