@@ -1,0 +1,95 @@
+"""Execution-engine benchmark: serial vs batch vs process-pool sampling.
+
+Measures the wall-clock of drawing a large, batch-heavy sample pool
+(the EXHAUST / holdout workload) through each registered engine on the
+preset's first dataset, and asserts:
+
+1. every engine produces the same number of samples (the workload is
+   identical, only the execution strategy differs);
+2. the batch engine needs far fewer traversals than samples (the
+   amortization that motivates it);
+3. on a multi-core machine the process engine beats the serial engine
+   on wall-clock for this workload (skipped on single-core runners,
+   where there is nothing to win).
+
+The timings are exported as a ``FigureResult`` so a bench run leaves a
+machine-readable record of which engine produced what, at what cost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.coverage import CoverageInstance
+from repro.engine import ENGINES, create_engine
+from repro.experiments import FigureResult, load_dataset
+from repro.experiments.figures import engine_meta
+
+_DRAWS = {"smoke": 4_000, "bench": 60_000, "reduced": 120_000, "full": 240_000}
+
+
+def _run_engines(config, preset_name):
+    graph = load_dataset(config.datasets[0], config)
+    _run_engines.graph_n = graph.n
+    draws = _DRAWS[preset_name]
+    workers = os.cpu_count() or 1
+    rows = []
+    for name in sorted(ENGINES):
+        instance = CoverageInstance(graph.n)
+        with create_engine(
+            name, graph, seed=config.seed, workers=workers
+        ) as engine:
+            start = time.perf_counter()
+            engine.extend(instance, draws)
+            elapsed = time.perf_counter() - start
+            stats = engine.stats
+        rows.append(
+            [
+                name,
+                draws,
+                instance.num_paths,
+                stats.traversals,
+                stats.workers,
+                round(elapsed, 4),
+            ]
+        )
+    return FigureResult(
+        name="Bench: engines",
+        title=f"drawing {draws} path samples on {config.datasets[0]}",
+        headers=["engine", "draws", "paths", "traversals", "workers", "seconds"],
+        rows=rows,
+        meta={**engine_meta(config), "cpu_count": workers},
+    )
+
+
+def test_engines(benchmark, config, strict_shapes, preset_name):
+    figure = run_once(benchmark, _run_engines, config, preset_name)
+    print()
+    print(figure.render())
+
+    by_engine = {row[0]: row for row in figure.rows}
+    draws = _DRAWS[preset_name]
+
+    # claim 1: identical workload through every engine
+    for name, row in by_engine.items():
+        assert row[2] == draws, f"{name}: drew {row[2]} of {draws} samples"
+
+    # claim 2: batching amortizes traversals to at most one BFS per
+    # distinct source — far below the sample count once draws >> n
+    graph_n = _run_engines.graph_n
+    assert by_engine["batch"][3] <= min(draws, graph_n)
+    if strict_shapes:
+        assert by_engine["batch"][3] < draws / 10
+
+    # claim 3: the pool wins wall-clock on a batch-heavy workload when
+    # there are cores to fan out to
+    cpu = os.cpu_count() or 1
+    pooled = by_engine["process"]
+    if strict_shapes and cpu >= 2 and pooled[4] >= 2:
+        assert pooled[5] < by_engine["serial"][5], (
+            f"process engine ({pooled[5]}s, {pooled[4]} workers) not faster "
+            f"than serial ({by_engine['serial'][5]}s) on {cpu} cores"
+        )

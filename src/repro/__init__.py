@@ -16,7 +16,7 @@ Quickstart
 10
 """
 
-from . import bounds, coverage, datasets, experiments, graph, nodebc, paths
+from . import bounds, coverage, datasets, engine, experiments, graph, nodebc, paths
 from .algorithms import (
     AdaAlg,
     BruteForce,
@@ -33,6 +33,13 @@ from .exceptions import (
     GraphError,
     ParameterError,
     ReproError,
+)
+from .engine import (
+    BatchEngine,
+    ProcessPoolEngine,
+    SampleEngine,
+    SerialEngine,
+    create_engine,
 )
 from .graph import CSRGraph, WeightedCSRGraph, from_edges, from_weighted_edges
 from .paths import PathSampler, betweenness_centrality, exact_gbc, normalized_gbc
@@ -54,6 +61,11 @@ __all__ = [
     "from_edges",
     "from_weighted_edges",
     "PathSampler",
+    "SampleEngine",
+    "SerialEngine",
+    "BatchEngine",
+    "ProcessPoolEngine",
+    "create_engine",
     "betweenness_centrality",
     "exact_gbc",
     "normalized_gbc",
@@ -64,6 +76,7 @@ __all__ = [
     "DatasetError",
     "graph",
     "paths",
+    "engine",
     "coverage",
     "bounds",
     "datasets",

@@ -26,11 +26,22 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Derive ``count`` independent child *seeds* from ``rng``.
+
+    The integer form exists for components that must ship a seed across
+    a process boundary (generators do not pickle compactly); feeding
+    each value to :func:`numpy.random.default_rng` yields the same
+    children :func:`spawn` would produce.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     Uses the generator's own bit stream to seed children, which keeps
     the derivation reproducible for a seeded parent.
     """
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]

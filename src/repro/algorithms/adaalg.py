@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from ..bounds.martingale import epsilon_one
 from ..bounds.sample_size import adaalg_schedule
 from ..coverage import CoverageInstance, greedy_max_cover
+from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from .base import GBCResult, SamplingAlgorithm
 
@@ -92,6 +93,8 @@ class AdaAlg(SamplingAlgorithm):
         include_endpoints: bool = True,
         sampler_method: str = "bidirectional",
         seed=None,
+        engine: str = "serial",
+        workers: int | None = None,
         max_samples: int | None = None,
         validation_set: bool = True,
     ):
@@ -101,11 +104,13 @@ class AdaAlg(SamplingAlgorithm):
             include_endpoints=include_endpoints,
             sampler_method=sampler_method,
             seed=seed,
+            engine=engine,
+            workers=workers,
         )
         if not 0.0 < eps < _EULER:
             # stricter than the base class: the approximation target
             # (1 - 1/e - eps) must stay positive
-            raise ValueError(f"AdaAlg needs eps in (0, 1 - 1/e); got {eps}")
+            raise ParameterError(f"AdaAlg needs eps in (0, 1 - 1/e); got {eps}")
         self.b_min = b_min
         self.max_samples = max_samples
         self.validation_set = validation_set
@@ -119,7 +124,8 @@ class AdaAlg(SamplingAlgorithm):
         n = graph.n
         pairs = graph.num_ordered_pairs
         b, q_max, theta = adaalg_schedule(n, self.eps, self.gamma, b_min=self.b_min)
-        sampler_s, sampler_t = self._make_samplers(graph, 2)
+        engines = self._make_engines(graph, 2)
+        engine_s, engine_t = engines
         selection = CoverageInstance(n)
         validation = CoverageInstance(n)
 
@@ -130,52 +136,57 @@ class AdaAlg(SamplingAlgorithm):
         unbiased = 0.0
         converged = False
 
-        for q in range(1, q_max + 1):
-            guess = pairs / b**q
-            target = math.ceil(theta * b**q)
-            if self.max_samples is not None and target > self.max_samples:
-                break
+        try:
+            for q in range(1, q_max + 1):
+                guess = pairs / b**q
+                target = math.ceil(theta * b**q)
+                if self.max_samples is not None and target > self.max_samples:
+                    break
 
-            # line 10: grow S, re-run greedy, biased estimate (Eq. 4)
-            self._extend(selection, sampler_s, target)
-            cover = greedy_max_cover(selection, k)
-            group = cover.group
-            biased = cover.covered / selection.num_paths * pairs
+                # line 10: grow S, re-run greedy, biased estimate (Eq. 4)
+                engine_s.extend(selection, target)
+                cover = greedy_max_cover(selection, k)
+                group = cover.group
+                biased = cover.covered / selection.num_paths * pairs
 
-            # line 11: grow T independently, unbiased estimate (Eq. 8)
-            if self.validation_set:
-                self._extend(validation, sampler_t, target)
-                covered_t = validation.covered_count(group)
-                unbiased = covered_t / validation.num_paths * pairs
-            else:
-                unbiased = biased  # ablation: no independent T set
+                # line 11: grow T independently, unbiased estimate (Eq. 8)
+                if self.validation_set:
+                    engine_t.extend(validation, target)
+                    covered_t = validation.covered_count(group)
+                    unbiased = covered_t / validation.num_paths * pairs
+                else:
+                    unbiased = biased  # ablation: no independent T set
 
-            beta = eps1 = eps_sum = None
-            if unbiased >= guess:
-                cnt += 1  # line 13
-            if cnt >= 2:
-                # lines 17-27: error accounting and the stop test
-                c1 = math.log(4.0 / self.gamma) / (theta * b ** (cnt - 2))
-                eps1 = epsilon_one(c1)
-                if biased > 0.0 and eps1 < 1.0:
-                    beta = 1.0 - unbiased / biased
-                    eps_sum = beta * _EULER * (1.0 - eps1) + (2.0 - 1.0 / math.e) * eps1
-            trace.append(
-                AdaAlgIteration(
-                    q=q,
-                    guess=guess,
-                    samples=selection.num_paths + validation.num_paths,
-                    biased=biased,
-                    unbiased=unbiased,
-                    cnt=cnt,
-                    beta=beta,
-                    eps1=eps1,
-                    eps_sum=eps_sum,
+                beta = eps1 = eps_sum = None
+                if unbiased >= guess:
+                    cnt += 1  # line 13
+                if cnt >= 2:
+                    # lines 17-27: error accounting and the stop test
+                    c1 = math.log(4.0 / self.gamma) / (theta * b ** (cnt - 2))
+                    eps1 = epsilon_one(c1)
+                    if biased > 0.0 and eps1 < 1.0:
+                        beta = 1.0 - unbiased / biased
+                        eps_sum = (
+                            beta * _EULER * (1.0 - eps1) + (2.0 - 1.0 / math.e) * eps1
+                        )
+                trace.append(
+                    AdaAlgIteration(
+                        q=q,
+                        guess=guess,
+                        samples=selection.num_paths + validation.num_paths,
+                        biased=biased,
+                        unbiased=unbiased,
+                        cnt=cnt,
+                        beta=beta,
+                        eps1=eps1,
+                        eps_sum=eps_sum,
+                    )
                 )
-            )
-            if eps_sum is not None and eps_sum <= self.eps:
-                converged = True  # line 24
-                break
+                if eps_sum is not None and eps_sum <= self.eps:
+                    converged = True  # line 24
+                    break
+        finally:
+            self._close_all(engines)
 
         return GBCResult(
             algorithm=self.name,
@@ -192,7 +203,6 @@ class AdaAlg(SamplingAlgorithm):
                 "theta": theta,
                 "cnt": cnt,
                 "trace": trace,
-                "edges_explored": sampler_s.total_edges_explored
-                + sampler_t.total_edges_explored,
+                **self._engine_diagnostics(engines),
             },
         )

@@ -15,10 +15,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._rng import as_generator, spawn
-from ..coverage import CoverageInstance
+from ..engine import ENGINES, SampleEngine, coverage_nodes, create_engine
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
-from ..paths.sampler import PathSample, PathSampler
+from ..paths.sampler import PathSample
 
 __all__ = ["GBCResult", "GBCAlgorithm", "SamplingAlgorithm"]
 
@@ -98,8 +98,21 @@ class GBCAlgorithm(abc.ABC):
 class SamplingAlgorithm(GBCAlgorithm):
     """Shared plumbing for the path-sampling algorithms.
 
-    Handles endpoint-convention slicing, sampler construction with
-    independent child RNG streams, and timing.
+    All path drawing goes through the :mod:`repro.engine` substrate:
+    the algorithm asks for samples, the configured engine decides how
+    the traversals execute (serial, amortized batches, or a worker
+    pool).  This class handles engine construction with independent
+    child RNG streams, endpoint-convention slicing, and timing.
+
+    Parameters
+    ----------
+    engine:
+        Name of the execution engine (:data:`repro.engine.ENGINES`)
+        every sample set is drawn through.  The default ``"serial"``
+        reproduces historical seeded runs bit-for-bit.
+    workers:
+        Worker-process count for the ``"process"`` engine (ignored by
+        in-process engines); ``None`` means all available cores.
     """
 
     def __init__(
@@ -109,53 +122,57 @@ class SamplingAlgorithm(GBCAlgorithm):
         include_endpoints: bool = True,
         sampler_method: str = "bidirectional",
         seed=None,
+        engine: str = "serial",
+        workers: int | None = None,
     ):
         if not 0.0 < eps < 1.0:
             raise ParameterError(f"eps must lie in (0, 1), got {eps}")
         if not 0.0 < gamma < 1.0:
             raise ParameterError(f"gamma must lie in (0, 1), got {gamma}")
+        if engine not in ENGINES:
+            known = ", ".join(sorted(ENGINES))
+            raise ParameterError(
+                f"unknown engine {engine!r}; expected one of: {known}"
+            )
         self.eps = eps
         self.gamma = gamma
         self.include_endpoints = include_endpoints
         self.sampler_method = sampler_method
+        self.engine = engine
+        self.workers = workers
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
-    def _make_samplers(self, graph: CSRGraph, count: int) -> list[PathSampler]:
-        """Independent samplers (one per sample set the algorithm keeps)."""
+    def _make_engines(self, graph: CSRGraph, count: int) -> list[SampleEngine]:
+        """Independent engines (one per sample set the algorithm keeps)."""
         return [
-            PathSampler(graph, seed=child, method=self.sampler_method)
+            create_engine(
+                self.engine,
+                graph,
+                seed=child,
+                method=self.sampler_method,
+                include_endpoints=self.include_endpoints,
+                workers=self.workers,
+            )
             for child in spawn(self._rng, count)
         ]
 
     def _coverage_nodes(self, sample: PathSample) -> np.ndarray:
         """Path nodes that count as covering, per the endpoint convention."""
-        if sample.is_null:
-            return sample.nodes
-        if self.include_endpoints:
-            return sample.nodes
-        return sample.nodes[1:-1]
+        return coverage_nodes(sample, self.include_endpoints)
 
-    def _extend(
-        self, instance: CoverageInstance, sampler: PathSampler, upto: int
-    ) -> None:
-        """Grow ``instance`` to hold ``upto`` samples.
+    def _engine_diagnostics(self, engines: list[SampleEngine]) -> dict:
+        """The engine-related entries of ``GBCResult.diagnostics``."""
+        stats = [eng.stats.as_dict() for eng in engines]
+        return {
+            "edges_explored": sum(s["edges_explored"] for s in stats),
+            "engine": {"name": self.engine, "stats": stats},
+        }
 
-        Large increments (at least the node count) go through the
-        source-grouped batch sampler, which amortizes one BFS across
-        every pair sharing a source — same distribution, far fewer
-        traversals.
-        """
-        missing = upto - instance.num_paths
-        if missing <= 0:
-            return
-        if missing >= sampler.graph.n:
-            for sample in sampler.sample_batch(missing):
-                instance.add_path(self._coverage_nodes(sample))
-            return
-        while instance.num_paths < upto:
-            sample = sampler.sample()
-            instance.add_path(self._coverage_nodes(sample))
+    @staticmethod
+    def _close_all(engines: list[SampleEngine]) -> None:
+        for eng in engines:
+            eng.close()
 
     @staticmethod
     def _timer() -> float:

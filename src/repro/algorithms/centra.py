@@ -46,6 +46,8 @@ class CentRa(Hedge):
         include_endpoints: bool = True,
         sampler_method: str = "bidirectional",
         seed=None,
+        engine: str = "serial",
+        workers: int | None = None,
         max_samples: int | None = None,
         empirical_stop: bool = False,
         era_draws: int = 8,
@@ -57,6 +59,8 @@ class CentRa(Hedge):
             include_endpoints=include_endpoints,
             sampler_method=sampler_method,
             seed=seed,
+            engine=engine,
+            workers=workers,
             max_samples=max_samples,
         )
         self.empirical_stop = empirical_stop
@@ -81,7 +85,7 @@ class CentRa(Hedge):
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / (2 * num_guesses)
 
-        (sampler,) = self._make_samplers(graph, 1)
+        (engine,) = engines = self._make_engines(graph, 1)
         instance = CoverageInstance(n)
 
         group: list[int] = []
@@ -90,27 +94,32 @@ class CentRa(Hedge):
         converged = False
         stopped_by_era = False
 
-        for _, guess, mu in guess_schedule(n, base=self.guess_base):
-            target = self._sample_bound(n, k, gamma_each, mu)
-            if self.max_samples is not None and target > self.max_samples:
-                break
-            iterations += 1
-            self._extend(instance, sampler, target)
-            cover = greedy_max_cover(instance, k)
-            group = cover.group
-            estimate = cover.covered / instance.num_paths * pairs
+        try:
+            for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                target = self._sample_bound(n, k, gamma_each, mu)
+                if self.max_samples is not None and target > self.max_samples:
+                    break
+                iterations += 1
+                engine.extend(instance, target)
+                cover = greedy_max_cover(instance, k)
+                group = cover.group
+                estimate = cover.covered / instance.num_paths * pairs
 
-            if estimate >= guess:
-                converged = True
-                break
-            # empirical early stop: does the observed complexity already
-            # certify an (eps/2)-accurate estimate at this guess level?
-            era = monte_carlo_era(instance, k, num_draws=self.era_draws, seed=self._rng)
-            deviation = era_deviation_bound(era, instance.num_paths, gamma_each)
-            if deviation * pairs <= 0.5 * self.eps * guess and estimate > 0.0:
-                converged = True
-                stopped_by_era = True
-                break
+                if estimate >= guess:
+                    converged = True
+                    break
+                # empirical early stop: does the observed complexity already
+                # certify an (eps/2)-accurate estimate at this guess level?
+                era = monte_carlo_era(
+                    instance, k, num_draws=self.era_draws, seed=self._rng
+                )
+                deviation = era_deviation_bound(era, instance.num_paths, gamma_each)
+                if deviation * pairs <= 0.5 * self.eps * guess and estimate > 0.0:
+                    converged = True
+                    stopped_by_era = True
+                    break
+        finally:
+            self._close_all(engines)
 
         return GBCResult(
             algorithm=self.name,
@@ -124,6 +133,6 @@ class CentRa(Hedge):
                 "num_guesses": num_guesses,
                 "empirical_stop": True,
                 "stopped_by_era": stopped_by_era,
-                "edges_explored": sampler.total_edges_explored,
+                **self._engine_diagnostics(engines),
             },
         )

@@ -43,6 +43,8 @@ class Exhaust(Hedge):
         include_endpoints: bool = True,
         sampler_method: str = "bidirectional",
         seed=None,
+        engine: str = "serial",
+        workers: int | None = None,
         max_samples: int | None = None,
     ):
         super().__init__(
@@ -51,6 +53,8 @@ class Exhaust(Hedge):
             include_endpoints=include_endpoints,
             sampler_method=sampler_method,
             seed=seed,
+            engine=engine,
+            workers=workers,
             max_samples=max_samples,
         )
         self.num_samples = num_samples
@@ -61,9 +65,12 @@ class Exhaust(Hedge):
         self._validate(graph, k)
         start = self._timer()
 
-        (sampler,) = self._make_samplers(graph, 1)
+        (engine,) = engines = self._make_engines(graph, 1)
         instance = CoverageInstance(graph.n)
-        self._extend(instance, sampler, self.num_samples)
+        try:
+            engine.extend(instance, self.num_samples)
+        finally:
+            self._close_all(engines)
         cover = greedy_max_cover(instance, k)
         estimate = cover.covered / instance.num_paths * graph.num_ordered_pairs
 
@@ -77,6 +84,6 @@ class Exhaust(Hedge):
             elapsed_seconds=self._timer() - start,
             diagnostics={
                 "fixed_budget": True,
-                "edges_explored": sampler.total_edges_explored,
+                **self._engine_diagnostics(engines),
             },
         )

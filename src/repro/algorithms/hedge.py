@@ -21,6 +21,7 @@ import math
 
 from ..bounds.sample_size import guess_schedule, hedge_sample_size
 from ..coverage import CoverageInstance, greedy_max_cover
+from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from .base import GBCResult, SamplingAlgorithm
 
@@ -51,6 +52,8 @@ class Hedge(SamplingAlgorithm):
         include_endpoints: bool = True,
         sampler_method: str = "bidirectional",
         seed=None,
+        engine: str = "serial",
+        workers: int | None = None,
         max_samples: int | None = None,
     ):
         super().__init__(
@@ -59,9 +62,11 @@ class Hedge(SamplingAlgorithm):
             include_endpoints=include_endpoints,
             sampler_method=sampler_method,
             seed=seed,
+            engine=engine,
+            workers=workers,
         )
         if guess_base <= 1.0:
-            raise ValueError(f"guess_base must exceed 1, got {guess_base}")
+            raise ParameterError(f"guess_base must exceed 1, got {guess_base}")
         self.guess_base = guess_base
         self.max_samples = max_samples
 
@@ -80,7 +85,7 @@ class Hedge(SamplingAlgorithm):
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / num_guesses
 
-        (sampler,) = self._make_samplers(graph, 1)
+        (engine,) = engines = self._make_engines(graph, 1)
         instance = CoverageInstance(n)
 
         group: list[int] = []
@@ -89,19 +94,22 @@ class Hedge(SamplingAlgorithm):
         converged = False
         capped = False
 
-        for _, guess, mu in guess_schedule(n, base=self.guess_base):
-            target = self._sample_bound(n, k, gamma_each, mu)
-            if self.max_samples is not None and target > self.max_samples:
-                capped = True
-                break
-            iterations += 1
-            self._extend(instance, sampler, target)
-            cover = greedy_max_cover(instance, k)
-            group = cover.group
-            estimate = cover.covered / instance.num_paths * pairs
-            if estimate >= guess:
-                converged = True
-                break
+        try:
+            for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                target = self._sample_bound(n, k, gamma_each, mu)
+                if self.max_samples is not None and target > self.max_samples:
+                    capped = True
+                    break
+                iterations += 1
+                engine.extend(instance, target)
+                cover = greedy_max_cover(instance, k)
+                group = cover.group
+                estimate = cover.covered / instance.num_paths * pairs
+                if estimate >= guess:
+                    converged = True
+                    break
+        finally:
+            self._close_all(engines)
 
         return GBCResult(
             algorithm=self.name,
@@ -114,6 +122,6 @@ class Hedge(SamplingAlgorithm):
             diagnostics={
                 "num_guesses": num_guesses,
                 "capped": capped,
-                "edges_explored": sampler.total_edges_explored,
+                **self._engine_diagnostics(engines),
             },
         )

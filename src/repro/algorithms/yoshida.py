@@ -74,7 +74,7 @@ class YoshidaSketch(SamplingAlgorithm):
             seed=seed,
         )
         if guess_base <= 1.0:
-            raise ValueError(f"guess_base must exceed 1, got {guess_base}")
+            raise ParameterError(f"guess_base must exceed 1, got {guess_base}")
         self.guess_base = guess_base
         self.max_samples = max_samples
 

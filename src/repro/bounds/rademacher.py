@@ -58,17 +58,17 @@ def signed_greedy_supremum(
         for node in range(instance.num_nodes):
             if node in chosen:
                 continue
-            pids = instance.paths_through(node)
-            if not pids:
+            pids = instance.paths_through_array(node)
+            if pids.size == 0:
                 continue
-            fresh = np.asarray(pids)[~covered[pids]]
+            fresh = pids[~covered[pids]]
             gain = float(signs[fresh].sum()) if fresh.size else 0.0
             if gain > best_gain:
                 best_node, best_gain = node, gain
         if best_node < 0:
             break
         chosen.add(best_node)
-        covered[instance.paths_through(best_node)] = True
+        covered[instance.paths_through_array(best_node)] = True
         value += best_gain
     return value
 

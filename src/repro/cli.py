@@ -40,6 +40,7 @@ from .algorithms import (
     YoshidaSketch,
 )
 from .datasets import DATASETS, load
+from .engine import ENGINES
 from .experiments import (
     BENCH,
     FULL,
@@ -114,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="do not restrict to the giant component",
         )
         parser_.add_argument("--seed", type=int, default=0, help="random seed")
+        parser_.add_argument(
+            "--engine",
+            choices=sorted(ENGINES),
+            default="serial",
+            help="execution engine for path sampling (default serial)",
+        )
+        parser_.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for --engine process (default: all cores)",
+        )
 
     run = sub.add_parser("run", help="run one algorithm on one graph")
     add_graph_source(run)
@@ -162,12 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_algorithm(name: str, eps: float, gamma: float, seed: int):
+def _make_algorithm(
+    name: str,
+    eps: float,
+    gamma: float,
+    seed: int,
+    engine: str = "serial",
+    workers: int | None = None,
+):
+    sampling = {"engine": engine, "workers": workers}
     factories = {
-        "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed),
-        "hedge": lambda: Hedge(eps=eps, gamma=gamma, seed=seed),
-        "centra": lambda: CentRa(eps=eps, gamma=gamma, seed=seed),
-        "exhaust": lambda: Exhaust(seed=seed),
+        "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed, **sampling),
+        "hedge": lambda: Hedge(eps=eps, gamma=gamma, seed=seed, **sampling),
+        "centra": lambda: CentRa(eps=eps, gamma=gamma, seed=seed, **sampling),
+        "exhaust": lambda: Exhaust(seed=seed, **sampling),
         "yoshida": lambda: YoshidaSketch(eps=eps, gamma=gamma, seed=seed),
         "puzis": lambda: PuzisGreedy(),
         "brute": lambda: BruteForce(),
@@ -189,10 +210,14 @@ def _load_graph(args):
 
 def _cmd_run(args) -> int:
     graph = _load_graph(args)
-    algorithm = _make_algorithm(args.algorithm, args.eps, args.gamma, args.seed)
+    algorithm = _make_algorithm(
+        args.algorithm, args.eps, args.gamma, args.seed, args.engine, args.workers
+    )
     result = algorithm.run(graph, args.k)
     pairs = graph.num_ordered_pairs
     print(f"algorithm   : {result.algorithm}")
+    print(f"engine      : {args.engine}"
+          + (f" (workers={args.workers})" if args.workers else ""))
     print(f"graph       : n={graph.n} m={graph.num_edges} "
           f"({'directed' if graph.directed else 'undirected'})")
     print(f"group (K={args.k}): {sorted(result.group)}")
@@ -212,7 +237,9 @@ def _cmd_compare(args) -> int:
     pairs = graph.num_ordered_pairs
     rows = []
     for name in args.algorithms:
-        algorithm = _make_algorithm(name, args.eps, args.gamma, args.seed)
+        algorithm = _make_algorithm(
+            name, args.eps, args.gamma, args.seed, args.engine, args.workers
+        )
         result = algorithm.run(graph, args.k)
         quality = (
             exact_gbc(graph, result.group) if args.exact else result.estimate

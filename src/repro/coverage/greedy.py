@@ -72,12 +72,12 @@ def greedy_max_cover(
     gains: list[int] = []
     evaluations = 0
 
-    # heap of (-gain, node); gains recorded at push time may be stale
-    heap: list[tuple[int, int]] = []
-    for node in range(instance.num_nodes):
-        degree = instance.degree(node)
-        if degree > 0:
-            heap.append((-degree, node))
+    # heap of (-gain, node); gains recorded at push time may be stale.
+    # The initial gains are exact degrees, read as one vector.
+    degrees = instance.degrees()
+    heap: list[tuple[int, int]] = [
+        (-int(degrees[node]), int(node)) for node in np.flatnonzero(degrees > 0)
+    ]
     heapq.heapify(heap)
     fresh_for_round = {}  # node -> round when its gain was last computed
 
@@ -90,12 +90,11 @@ def greedy_max_cover(
                 break
             chosen.append(node)
             gains.append(gain)
-            covered[instance.paths_through(node)] = True
+            instance.mark_covered(node, covered)
             round_no += 1
             continue
         # stale entry: re-evaluate against the current cover
-        pids = instance.paths_through(node)
-        gain = int(np.count_nonzero(~covered[pids])) if pids else 0
+        gain = instance.marginal_gain(node, covered)
         evaluations += 1
         fresh_for_round[node] = round_no
         if gain > 0:

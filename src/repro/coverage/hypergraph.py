@@ -7,6 +7,16 @@ hyperedges as possible.  :class:`CoverageInstance` stores that
 incidence incrementally — AdaAlg keeps growing the same sample set
 across iterations, so paths are appended, never rebuilt.
 
+Storage is flat-array CSR, not Python containers: path node sets live
+in one concatenated int64 array addressed by an offsets array, and the
+node→path incidence is a CSR built lazily from those arrays the first
+time a query needs it after an append.  Appends invalidate the
+incidence; the rebuild is a single stable argsort over the flat array,
+so with the geometric growth schedules of the algorithms its amortized
+cost stays linear in the final sample volume.  All coverage queries
+(:meth:`covered_count`, :meth:`marginal_gain`, ...) are vectorized
+gathers over these arrays — the kernels CELF consumes directly.
+
 Null samples (empty node arrays, from disconnected pairs) are stored
 too: they are covered by no node but count toward the sample size,
 which the unbiased estimator divides by.
@@ -19,6 +29,21 @@ import numpy as np
 from ..exceptions import ParameterError
 
 __all__ = ["CoverageInstance"]
+
+_INITIAL_CAPACITY = 64
+
+
+def _grow(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``array`` with capacity of at least ``needed`` (amortized
+    doubling; contents up to the old size are preserved)."""
+    capacity = array.size
+    if needed <= capacity:
+        return array
+    while capacity < needed:
+        capacity *= 2
+    grown = np.empty(capacity, dtype=array.dtype)
+    grown[: array.size] = array
+    return grown
 
 
 class CoverageInstance:
@@ -36,24 +61,37 @@ class CoverageInstance:
         if num_nodes < 0:
             raise ParameterError("num_nodes must be non-negative")
         self.num_nodes = num_nodes
-        self._paths: list[np.ndarray] = []
-        self._node_to_paths: dict[int, list[int]] = {}
+        self._flat = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flat_len = 0
+        self._offsets = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._num_paths = 0
+        self._degrees = np.zeros(num_nodes, dtype=np.int64)
+        # node -> path CSR incidence, rebuilt lazily after appends
+        self._inc_indptr: np.ndarray | None = None
+        self._inc_paths: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
     def num_paths(self) -> int:
         """Number of stored paths (null samples included)."""
-        return len(self._paths)
+        return self._num_paths
 
     def add_path(self, nodes) -> int:
         """Append one path; returns its id.  ``nodes`` may be empty."""
         arr = np.unique(np.asarray(nodes, dtype=np.int64))
         if arr.size and (arr[0] < 0 or arr[-1] >= self.num_nodes):
             raise ParameterError("path mentions node ids outside the universe")
-        pid = len(self._paths)
-        self._paths.append(arr)
-        for v in arr:
-            self._node_to_paths.setdefault(int(v), []).append(pid)
+        pid = self._num_paths
+        end = self._flat_len + arr.size
+        self._flat = _grow(self._flat, end)
+        self._flat[self._flat_len : end] = arr
+        self._flat_len = end
+        self._offsets = _grow(self._offsets, pid + 2)
+        self._offsets[pid + 1] = end
+        self._num_paths = pid + 1
+        self._degrees[arr] += 1
+        self._inc_indptr = None
+        self._inc_paths = None
         return pid
 
     def add_paths(self, paths) -> None:
@@ -63,37 +101,126 @@ class CoverageInstance:
 
     def path(self, pid: int) -> np.ndarray:
         """The (sorted, deduplicated) node array of path ``pid``."""
-        return self._paths[pid]
+        if pid < 0:
+            pid += self._num_paths
+        if not 0 <= pid < self._num_paths:
+            raise IndexError(f"path id {pid} out of range")
+        return self._flat[self._offsets[pid] : self._offsets[pid + 1]]
+
+    # ------------------------------------------------------------------
+    def _incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """The node→path CSR ``(indptr, path_ids)``, rebuilt if stale."""
+        if self._inc_indptr is None:
+            flat = self._flat[: self._flat_len]
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            lengths = np.diff(self._offsets[: self._num_paths + 1])
+            path_ids = np.repeat(
+                np.arange(self._num_paths, dtype=np.int64), lengths
+            )
+            order = np.argsort(flat, kind="stable")
+            self._inc_indptr = indptr
+            self._inc_paths = path_ids[order]
+        return self._inc_indptr, self._inc_paths
+
+    def paths_through_array(self, node: int) -> np.ndarray:
+        """Ids of all paths visiting ``node`` as a read-only array view
+        (ascending order — paths are appended with increasing ids)."""
+        if not 0 <= node < self.num_nodes:
+            return np.empty(0, dtype=np.int64)
+        indptr, path_ids = self._incidence()
+        return path_ids[indptr[node] : indptr[node + 1]]
 
     def paths_through(self, node: int) -> list[int]:
         """Ids of all paths visiting ``node``."""
-        return list(self._node_to_paths.get(int(node), ()))
+        return self.paths_through_array(int(node)).tolist()
 
     def degree(self, node: int) -> int:
         """Number of paths visiting ``node``."""
-        return len(self._node_to_paths.get(int(node), ()))
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            return 0
+        return int(self._degrees[node])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all node degrees (a defensive copy)."""
+        return self._degrees.copy()
 
     # ------------------------------------------------------------------
+    def _member_array(self, group) -> np.ndarray:
+        members = np.unique(np.asarray(list(group), dtype=np.int64))
+        if members.size and (
+            members[0] < 0 or members[-1] >= self.num_nodes
+        ):
+            raise ParameterError("group mentions node ids outside the universe")
+        return members
+
+    def covered_mask(self, group) -> np.ndarray:
+        """Boolean mask over paths: which are hit by at least one member.
+
+        One vectorized gather over the incidence CSR, shared by
+        :meth:`covered_count` and the greedy/CELF kernels.
+        """
+        covered = np.zeros(self._num_paths, dtype=bool)
+        members = self._member_array(group)
+        if members.size == 0 or self._num_paths == 0:
+            return covered
+        indptr, path_ids = self._incidence()
+        counts = indptr[members + 1] - indptr[members]
+        total = int(counts.sum())
+        if total == 0:
+            return covered
+        starts = np.repeat(indptr[members], counts)
+        shifts = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        covered[path_ids[starts + shifts]] = True
+        return covered
+
     def covered_count(self, group) -> int:
         """How many stored paths contain at least one node of ``group``.
 
         This is the quantity ``L'`` in the paper's estimators
         (Eqs. 4 and 8).
         """
-        members = np.asarray(list(group), dtype=np.int64)
-        if members.size == 0:
-            return 0
-        if members.min() < 0 or members.max() >= self.num_nodes:
-            raise ParameterError("group mentions node ids outside the universe")
-        covered = np.zeros(self.num_paths, dtype=bool)
-        for v in np.unique(members):
-            pids = self._node_to_paths.get(int(v))
-            if pids:
-                covered[pids] = True
-        return int(covered.sum())
+        return int(self.covered_mask(group).sum())
 
     def coverage_fraction(self, group) -> float:
         """``covered_count / num_paths`` (0 on an empty instance)."""
-        if self.num_paths == 0:
+        if self._num_paths == 0:
             return 0.0
-        return self.covered_count(group) / self.num_paths
+        return self.covered_count(group) / self._num_paths
+
+    # ------------------------------------------------------------------
+    # marginal-gain kernels (consumed by greedy_max_cover / CELF)
+    # ------------------------------------------------------------------
+    def marginal_gain(self, node: int, covered: np.ndarray) -> int:
+        """Paths through ``node`` not yet flagged in ``covered``."""
+        pids = self.paths_through_array(int(node))
+        if pids.size == 0:
+            return 0
+        return int(np.count_nonzero(~covered[pids]))
+
+    def mark_covered(self, node: int, covered: np.ndarray) -> None:
+        """Flag every path through ``node`` in the ``covered`` mask."""
+        pids = self.paths_through_array(int(node))
+        if pids.size:
+            covered[pids] = True
+
+    def marginal_gains(self, nodes, covered: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`marginal_gain` for a batch of candidates."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        gains = np.zeros(nodes.size, dtype=np.int64)
+        if nodes.size == 0 or self._num_paths == 0:
+            return gains
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ParameterError("candidates mention node ids outside the universe")
+        indptr, path_ids = self._incidence()
+        counts = indptr[nodes + 1] - indptr[nodes]
+        total = int(counts.sum())
+        if total == 0:
+            return gains
+        starts = np.repeat(indptr[nodes], counts)
+        shifts = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        fresh = ~covered[path_ids[starts + shifts]]
+        owner = np.repeat(np.arange(nodes.size), counts)
+        np.add.at(gains, owner, fresh.astype(np.int64))
+        return gains

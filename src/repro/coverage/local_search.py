@@ -67,7 +67,7 @@ def swap_local_search(
     # per-path coverage multiplicity lets us remove a member in O(deg)
     multiplicity = np.zeros(instance.num_paths, dtype=np.int32)
     for v in members:
-        multiplicity[instance.paths_through(v)] += 1
+        multiplicity[instance.paths_through_array(v)] += 1
 
     swaps = 0
     rounds = 0
@@ -75,18 +75,18 @@ def swap_local_search(
         rounds += 1
         improved = False
         for slot, current in enumerate(members):
-            multiplicity[instance.paths_through(current)] -= 1
+            multiplicity[instance.paths_through_array(current)] -= 1
             uncovered = multiplicity == 0
             in_group = set(members) - {current}
 
             best_node, best_gain = current, int(
-                np.count_nonzero(uncovered[instance.paths_through(current)])
+                np.count_nonzero(uncovered[instance.paths_through_array(current)])
             )
             for candidate in range(instance.num_nodes):
                 if candidate in in_group or candidate == current:
                     continue
-                pids = instance.paths_through(candidate)
-                if not pids:
+                pids = instance.paths_through_array(candidate)
+                if pids.size == 0:
                     continue
                 gain = int(np.count_nonzero(uncovered[pids]))
                 if gain > best_gain:
@@ -95,7 +95,7 @@ def swap_local_search(
                 members[slot] = best_node
                 swaps += 1
                 improved = True
-            multiplicity[instance.paths_through(members[slot])] += 1
+            multiplicity[instance.paths_through_array(members[slot])] += 1
         if not improved:
             break
 

@@ -1,0 +1,71 @@
+"""Execution engines for shortest-path sampling.
+
+All sampling algorithms draw their paths through a
+:class:`~repro.engine.base.SampleEngine`, selected by name:
+
+``serial``
+    One traversal per sample (with the historical large-draw batch
+    shortcut) — the default, matching seeded runs from before the
+    engine layer existed.
+``batch``
+    Always route through the source-grouped amortized batch sampler.
+``process``
+    Fan chunks of samples out to a pool of worker processes; results
+    are bit-identical across worker counts for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParameterError
+from ..graph.csr import CSRGraph
+from .base import EngineStats, SampleEngine, coverage_nodes
+from .pool import ProcessPoolEngine
+from .serial import BatchEngine, SerialEngine
+
+__all__ = [
+    "EngineStats",
+    "SampleEngine",
+    "SerialEngine",
+    "BatchEngine",
+    "ProcessPoolEngine",
+    "ENGINES",
+    "create_engine",
+    "coverage_nodes",
+]
+
+#: Name -> engine class registry used by ``create_engine`` and the CLI.
+ENGINES: dict[str, type[SampleEngine]] = {
+    SerialEngine.name: SerialEngine,
+    BatchEngine.name: BatchEngine,
+    ProcessPoolEngine.name: ProcessPoolEngine,
+}
+
+
+def create_engine(
+    name: str,
+    graph: CSRGraph,
+    *,
+    seed=None,
+    method: str = "bidirectional",
+    include_endpoints: bool = True,
+    workers: int | None = None,
+) -> SampleEngine:
+    """Instantiate the engine registered under ``name``.
+
+    ``workers`` only applies to the process engine; passing it with an
+    in-process engine is accepted (and ignored) so callers can thread a
+    single pair of knobs through unconditionally.
+    """
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ParameterError(f"unknown engine {name!r}; expected one of: {known}")
+    kwargs = {
+        "seed": seed,
+        "method": method,
+        "include_endpoints": include_endpoints,
+    }
+    if cls is ProcessPoolEngine:
+        kwargs["workers"] = workers
+    return cls(graph, **kwargs)

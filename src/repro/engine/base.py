@@ -1,0 +1,163 @@
+"""The :class:`SampleEngine` protocol — the package's sampling substrate.
+
+Every path-sampling algorithm (AdaAlg, HEDGE, CentRa, EXHAUST) needs
+the same primitive: *draw ``count`` independent uniform shortest-path
+samples and fold them into a coverage instance*.  The engine layer
+isolates that primitive behind one interface so the execution strategy
+— serial traversals, source-grouped batches, or a pool of worker
+processes — is a runtime knob instead of per-algorithm code.
+
+The contract every engine honors:
+
+* ``draw(count)`` returns ``count`` i.i.d. samples from the paper's
+  uniform shortest-path law (Sec. III-D) — engines differ in *how*
+  the traversals are executed, never in the sampled distribution;
+* a fixed construction seed makes the engine's sample sequence
+  deterministic, and :class:`~repro.engine.pool.ProcessPoolEngine`
+  is additionally deterministic *across worker counts* (see its
+  docstring for the chunked sub-stream scheme);
+* ``extend(instance, upto)`` applies the endpoint convention
+  (``include_endpoints``) and appends to a
+  :class:`~repro.coverage.CoverageInstance` — the plumbing that used
+  to live on ``SamplingAlgorithm``;
+* ``stats`` exposes the work counters (samples, traversals, batches,
+  arcs, worker utilization) that algorithms surface in
+  ``GBCResult.diagnostics``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import as_generator
+from ..coverage.hypergraph import CoverageInstance
+from ..exceptions import ParameterError
+from ..graph.csr import CSRGraph
+from ..paths.sampler import PathSample
+
+__all__ = ["EngineStats", "SampleEngine", "coverage_nodes"]
+
+
+def coverage_nodes(sample: PathSample, include_endpoints: bool) -> np.ndarray:
+    """Path nodes that count as covering, per the endpoint convention."""
+    if sample.is_null or include_endpoints:
+        return sample.nodes
+    return sample.nodes[1:-1]
+
+
+@dataclass
+class EngineStats:
+    """Work counters of one engine instance.
+
+    Attributes
+    ----------
+    samples:
+        Total path samples drawn.
+    draw_calls:
+        Number of ``draw`` invocations served.
+    traversals:
+        Graph traversals executed (a source-grouped batch serves many
+        samples per traversal, so this can be far below ``samples``).
+    batches:
+        Work units dispatched: amortized-BFS batches for the batch
+        path, chunks for the process pool, one per sample serially.
+    edges_explored:
+        Total arcs touched across all traversals.
+    workers:
+        Worker processes backing the engine (0 = in-process).
+    worker_samples:
+        Samples served per worker process id — the utilization
+        breakdown for the parallel engine (empty when in-process).
+    """
+
+    samples: int = 0
+    draw_calls: int = 0
+    traversals: int = 0
+    batches: int = 0
+    edges_explored: int = 0
+    workers: int = 0
+    worker_samples: dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly copy for ``GBCResult.diagnostics``."""
+        return {
+            "samples": self.samples,
+            "draw_calls": self.draw_calls,
+            "traversals": self.traversals,
+            "batches": self.batches,
+            "edges_explored": self.edges_explored,
+            "workers": self.workers,
+            "worker_samples": dict(self.worker_samples),
+        }
+
+
+class SampleEngine(abc.ABC):
+    """Abstract sampling engine: ``draw(count) -> list[PathSample]``.
+
+    Parameters
+    ----------
+    graph:
+        The network to sample from.
+    seed:
+        Anything accepted by :func:`repro._rng.as_generator`; the
+        engine's whole sample sequence is a pure function of it.
+    method:
+        Traversal method forwarded to
+        :class:`~repro.paths.sampler.PathSampler`.
+    include_endpoints:
+        Endpoint convention applied by :meth:`extend`.
+    """
+
+    #: Registry name, set by subclasses ("serial", "batch", "process").
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        seed=None,
+        method: str = "bidirectional",
+        include_endpoints: bool = True,
+    ):
+        self.graph = graph
+        self.method = method
+        self.include_endpoints = include_endpoints
+        self._rng = as_generator(seed)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def draw(self, count: int) -> list[PathSample]:
+        """Draw ``count`` independent uniform shortest-path samples."""
+
+    def extend(self, instance: CoverageInstance, upto: int) -> None:
+        """Grow ``instance`` to hold ``upto`` samples.
+
+        Applies the engine's endpoint convention to every drawn path;
+        a no-op when the instance already holds enough samples.
+        """
+        missing = upto - instance.num_paths
+        if missing <= 0:
+            return
+        for sample in self.draw(missing):
+            instance.add_path(coverage_nodes(sample, self.include_endpoints))
+
+    def close(self) -> None:
+        """Release engine resources (worker processes); idempotent."""
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SampleEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(graph={self.graph!r}, method={self.method!r})"
+
+    # ------------------------------------------------------------------
+    def _check_count(self, count: int) -> None:
+        if count < 0:
+            raise ParameterError("sample count must be non-negative")

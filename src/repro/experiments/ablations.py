@@ -287,7 +287,7 @@ def run_local_search_ablation(
     real centrality.
     """
     from ..coverage import CoverageInstance, swap_local_search
-    from ..paths.sampler import PathSampler
+    from ..engine import create_engine
 
     rows = []
     for dataset in config.datasets:
@@ -297,10 +297,11 @@ def run_local_search_ablation(
         pairs = graph.num_ordered_pairs
         result = AdaAlg(eps=eps, gamma=config.gamma, seed=master).run(graph, k)
         # rebuild a selection-sized sample set to refine against
-        sampler = PathSampler(graph, seed=master)
         instance = CoverageInstance(graph.n)
-        for _ in range(max(result.num_samples // 2, 500)):
-            instance.add_path(sampler.sample().nodes)
+        with create_engine(
+            config.engine, graph, seed=master, workers=config.workers
+        ) as engine:
+            engine.extend(instance, max(result.num_samples // 2, 500))
         refined = swap_local_search(instance, result.group)
         rows.append(
             [

@@ -34,6 +34,7 @@ def to_json(result: FigureResult, path) -> None:
         "name": result.name,
         "title": result.title,
         "headers": result.headers,
+        "meta": result.meta,
         "rows": [dict(zip(result.headers, row)) for row in result.rows],
     }
     with open(path, "w") as handle:
@@ -63,4 +64,5 @@ def read_json(path) -> FigureResult:
         title=payload["title"],
         headers=headers,
         rows=rows,
+        meta=payload.get("meta", {}),
     )

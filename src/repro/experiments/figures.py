@@ -10,12 +10,12 @@ asserted by the benchmark suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from .._rng import as_generator, spawn
 from ..coverage import CoverageInstance, greedy_max_cover
-from ..paths.sampler import PathSampler
+from ..engine import create_engine
 from .harness import (
     SAMPLING_ALGORITHMS,
     DatasetContext,
@@ -27,12 +27,18 @@ from .report import render_series
 
 __all__ = [
     "FigureResult",
+    "engine_meta",
     "run_fig1",
     "run_fig2",
     "run_fig3",
     "run_fig4",
     "run_fig5",
 ]
+
+
+def engine_meta(config: ExperimentConfig) -> dict:
+    """Provenance entries recording which engine produced a figure."""
+    return {"engine": config.engine, "workers": config.workers}
 
 
 @dataclass
@@ -43,6 +49,9 @@ class FigureResult:
     title: str
     headers: list[str]
     rows: list[list]
+    #: Run provenance (execution engine, workers, ...); carried through
+    #: the JSON exporter so artifacts record how they were produced.
+    meta: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """The figure as a printable table."""
@@ -85,15 +94,17 @@ def run_fig1(config: ExperimentConfig, ks: Sequence[int] = (50, 100)) -> FigureR
             }
             for _ in range(config.fig1_simulations):
                 rng_s, rng_t = spawn(master, 2)
-                sampler_s = PathSampler(graph, seed=rng_s)
-                sampler_t = PathSampler(graph, seed=rng_t)
+                engine_s = create_engine(
+                    config.engine, graph, seed=rng_s, workers=config.workers
+                )
+                engine_t = create_engine(
+                    config.engine, graph, seed=rng_t, workers=config.workers
+                )
                 selection = CoverageInstance(graph.n)
                 validation = CoverageInstance(graph.n)
                 for length in sorted(config.fig1_lengths):
-                    while selection.num_paths < length:
-                        selection.add_path(sampler_s.sample().nodes)
-                    while validation.num_paths < length:
-                        validation.add_path(sampler_t.sample().nodes)
+                    engine_s.extend(selection, length)
+                    engine_t.extend(validation, length)
                     cover = greedy_max_cover(selection, k)
                     biased = cover.covered / selection.num_paths * pairs
                     unbiased = (
@@ -103,6 +114,8 @@ def run_fig1(config: ExperimentConfig, ks: Sequence[int] = (50, 100)) -> FigureR
                     )
                     if biased > 0:
                         betas[length].append(1.0 - unbiased / biased)
+                engine_s.close()
+                engine_t.close()
             for length in sorted(config.fig1_lengths):
                 values = betas[length]
                 if not values:
@@ -114,6 +127,7 @@ def run_fig1(config: ExperimentConfig, ks: Sequence[int] = (50, 100)) -> FigureR
         title="relative error beta between biased and unbiased estimates vs L",
         headers=["dataset", "K", "L", "beta_avg", "beta_max"],
         rows=rows,
+        meta=engine_meta(config),
     )
 
 
@@ -172,6 +186,7 @@ def run_fig2(config: ExperimentConfig, eps: float = 0.3) -> FigureResult:
         title=f"normalized GBC vs K (eps={eps}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
+        meta=engine_meta(config),
     )
 
 
@@ -185,6 +200,7 @@ def run_fig3(config: ExperimentConfig, k: int | None = None) -> FigureResult:
         title=f"normalized GBC vs eps (K={k}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
+        meta=engine_meta(config),
     )
 
 
@@ -236,6 +252,7 @@ def run_fig4(config: ExperimentConfig, eps: float = 0.3) -> FigureResult:
         title=f"number of samples vs K (eps={eps}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
+        meta=engine_meta(config),
     )
 
 
@@ -250,4 +267,5 @@ def run_fig5(config: ExperimentConfig, ks: Sequence[int] | None = None) -> Figur
         title=f"number of samples vs eps (K in {tuple(ks)}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
+        meta=engine_meta(config),
     )

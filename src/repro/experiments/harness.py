@@ -30,10 +30,10 @@ from .._rng import as_generator, spawn
 from ..algorithms import AdaAlg, CentRa, Hedge
 from ..coverage import CoverageInstance, greedy_max_cover
 from ..datasets import load
+from ..engine import create_engine
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from ..paths.exact_gbc import exact_gbc
-from ..paths.sampler import PathSampler
 
 __all__ = [
     "ExperimentConfig",
@@ -80,6 +80,13 @@ class ExperimentConfig:
         Safety cap on HEDGE/CentRa sample demands (None = faithful).
     quality_mode:
         ``"holdout"`` (default) or ``"exact"``.
+    engine:
+        Execution engine (:data:`repro.engine.ENGINES`) every sample —
+        the algorithms' own and the harness's holdout/reference pools —
+        is drawn through.
+    workers:
+        Worker-process count for the ``"process"`` engine (``None`` =
+        all cores); ignored by in-process engines.
     seed:
         Master seed; every cell derives its own stream from it.
     """
@@ -95,6 +102,8 @@ class ExperimentConfig:
     eval_samples: int = 100_000
     max_samples: int | None = 500_000
     quality_mode: str = "holdout"
+    engine: str = "serial"
+    workers: int | None = None
     seed: int = 20250704
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -164,16 +173,25 @@ FULL = ExperimentConfig(
 
 def build_sampling_algorithm(name: str, eps: float, config: ExperimentConfig, seed):
     """Construct one of the paper's sampling algorithms from a config."""
+    sampling = {"engine": config.engine, "workers": config.workers}
     if name == "HEDGE":
         return Hedge(
-            eps=eps, gamma=config.gamma, seed=seed, max_samples=config.max_samples
+            eps=eps,
+            gamma=config.gamma,
+            seed=seed,
+            max_samples=config.max_samples,
+            **sampling,
         )
     if name == "CentRa":
         return CentRa(
-            eps=eps, gamma=config.gamma, seed=seed, max_samples=config.max_samples
+            eps=eps,
+            gamma=config.gamma,
+            seed=seed,
+            max_samples=config.max_samples,
+            **sampling,
         )
     if name == "AdaAlg":
-        return AdaAlg(eps=eps, gamma=config.gamma, seed=seed)
+        return AdaAlg(eps=eps, gamma=config.gamma, seed=seed, **sampling)
     raise ParameterError(f"unknown sampling algorithm {name!r}")
 
 
@@ -202,12 +220,16 @@ class DatasetContext:
         self._pool = self._draw(graph, rng_pool, config.exhaust_samples)
         self._exhaust_cache: dict[int, list[int]] = {}
 
-    @staticmethod
-    def _draw(graph: CSRGraph, rng, count: int) -> CoverageInstance:
-        sampler = PathSampler(graph, seed=rng)
+    def _draw(self, graph: CSRGraph, rng, count: int) -> CoverageInstance:
         instance = CoverageInstance(graph.n)
-        for _ in range(count):
-            instance.add_path(sampler.sample().nodes)
+        with create_engine(
+            self.config.engine,
+            graph,
+            seed=rng,
+            include_endpoints=True,
+            workers=self.config.workers,
+        ) as engine:
+            engine.extend(instance, count)
         return instance
 
     # ------------------------------------------------------------------

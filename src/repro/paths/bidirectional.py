@@ -31,7 +31,7 @@ from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from .bfs import frontier_neighbors
 
-__all__ = ["BidirectionalResult", "bidirectional_sigma"]
+__all__ = ["BidirectionalResult", "bidirectional_search", "bidirectional_sigma"]
 
 
 @dataclass
@@ -115,14 +115,16 @@ class _Side:
         return newly
 
 
-def bidirectional_sigma(
+def bidirectional_search(
     graph: CSRGraph, source: int, target: int
-) -> BidirectionalResult | None:
-    """Distance and shortest-path count between ``source`` and ``target``.
+) -> tuple[BidirectionalResult | None, int]:
+    """Run the balanced search; always report the traversal work.
 
-    Returns ``None`` when ``target`` is unreachable from ``source``.
-    Raises :class:`~repro.exceptions.ParameterError` if the endpoints
-    coincide (a pair sample always has ``s != t``).
+    Returns ``(result, edges_explored)`` where ``result`` is ``None``
+    for an unreachable pair.  Unlike :func:`bidirectional_sigma` the
+    arcs touched while *proving* unreachability (both searches exhaust
+    their closure) are returned too, so work accounting on fragmented
+    graphs stays exact.
     """
     if source == target:
         raise ParameterError("bidirectional search requires source != target")
@@ -135,11 +137,25 @@ def bidirectional_sigma(
         other = backward if side is forward else forward
         newly = side.expand()
         if newly.size == 0:
-            return None
+            return None, forward.edges + backward.edges
         met = newly[other.dist[newly] != -1]
         if met.size:
-            return _finalize(graph, source, target, forward, backward)
-    return None
+            result = _finalize(graph, source, target, forward, backward)
+            return result, result.edges_explored
+    return None, forward.edges + backward.edges
+
+
+def bidirectional_sigma(
+    graph: CSRGraph, source: int, target: int
+) -> BidirectionalResult | None:
+    """Distance and shortest-path count between ``source`` and ``target``.
+
+    Returns ``None`` when ``target`` is unreachable from ``source``.
+    Raises :class:`~repro.exceptions.ParameterError` if the endpoints
+    coincide (a pair sample always has ``s != t``).
+    """
+    result, _ = bidirectional_search(graph, source, target)
+    return result
 
 
 def _finalize(

@@ -29,7 +29,7 @@ from ..exceptions import GraphError, ParameterError
 from ..graph.csr import CSRGraph
 from ._dispatch import is_weighted
 from .bfs import bfs_sigma
-from .bidirectional import bidirectional_sigma
+from .bidirectional import bidirectional_search
 from .dijkstra import dijkstra_sigma
 
 __all__ = ["PathSample", "PathSampler"]
@@ -99,6 +99,7 @@ class PathSampler:
         self._rng = as_generator(seed)
         self.total_edges_explored = 0
         self.total_samples = 0
+        self.total_traversals = 0
 
     # ------------------------------------------------------------------
     def sample(self) -> PathSample:
@@ -149,13 +150,16 @@ class PathSampler:
         samples: list[PathSample | None] = [None] * count
         for source, indices in by_source.items():
             dist, sigma = bfs_sigma(self.graph, source)
-            explored = int(
-                self.graph.out_degrees()[dist >= 0].sum() // max(len(indices), 1)
-            )
-            for index in indices:
+            # attribute the full BFS work exactly across this source's
+            # samples: the first `remainder` samples carry one extra arc
+            # so that the per-source total matches the serial accounting
+            total_work = int(self.graph.out_degrees()[dist >= 0].sum())
+            share, remainder = divmod(total_work, len(indices))
+            for position, index in enumerate(indices):
+                explored = share + (1 if position < remainder else 0)
                 target = int(targets[index])
                 if dist[target] == -1:
-                    samples[index] = self._null(source, target, 0)
+                    samples[index] = self._null(source, target, explored)
                     continue
                 head = self._walk_up(target, dist, sigma)
                 samples[index] = PathSample(
@@ -167,6 +171,7 @@ class PathSampler:
                     edges_explored=explored,
                 )
         self.total_samples += count
+        self.total_traversals += len(by_source)
         self.total_edges_explored += sum(s.edges_explored for s in samples)
         return samples
 
@@ -179,6 +184,7 @@ class PathSampler:
         else:
             sample = self._sample_forward(source, target)
         self.total_samples += 1
+        self.total_traversals += 1
         self.total_edges_explored += sample.edges_explored
         return sample
 
@@ -194,11 +200,11 @@ class PathSampler:
         )
 
     def _sample_bidirectional(self, source: int, target: int) -> PathSample:
-        result = bidirectional_sigma(self.graph, source, target)
+        result, explored = bidirectional_search(self.graph, source, target)
         if result is None:
-            # unreachable: the searches explored their closure; the work
-            # is small and not needed by any experiment, so record 0
-            return self._null(source, target, 0)
+            # unreachable: both searches exhausted their closure — that
+            # work is real, so the ablation must see it
+            return self._null(source, target, explored)
         pivot = self._weighted_pick(result.cut_nodes, result.cut_weights)
 
         head = self._walk_up(pivot, result.dist_forward, result.sigma_forward)
@@ -215,14 +221,15 @@ class PathSampler:
 
     def _sample_forward(self, source: int, target: int) -> PathSample:
         dist, sigma = bfs_sigma(self.graph, source, target=target)
-        if dist[target] == -1:
-            return self._null(source, target, 0)
-        head = self._walk_up(target, dist, sigma)
-        nodes = np.asarray(head[::-1], dtype=np.int64)
-        # plain BFS explores every arc out of levels 0..d(s,t)-1
+        # plain BFS explores every arc out of the levels it expanded —
+        # for an unreachable target that is the source's whole closure
         explored = int(
             sum(self.graph.out_degree(v) for v in np.flatnonzero(dist >= 0))
         )
+        if dist[target] == -1:
+            return self._null(source, target, explored)
+        head = self._walk_up(target, dist, sigma)
+        nodes = np.asarray(head[::-1], dtype=np.int64)
         return PathSample(
             source=source,
             target=target,
@@ -237,7 +244,8 @@ class PathSampler:
         walk along shortest-path predecessors."""
         dist, sigma, order = dijkstra_sigma(self.graph, source, target=target)
         if dist[target] == -1:
-            return self._null(source, target, 0)
+            explored = int(sum(self.graph.out_degree(int(v)) for v in order))
+            return self._null(source, target, explored)
         path = [target]
         node = target
         while node != source:

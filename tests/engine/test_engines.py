@@ -1,0 +1,290 @@
+"""Tests for the execution-engine substrate (:mod:`repro.engine`).
+
+The engine contract under test:
+
+* every engine draws from the same path distribution (chi-square
+  cross-check on a small graph where the law is known empirically);
+* a fixed seed gives a deterministic sample sequence, and the process
+  engine is additionally bit-identical across worker counts;
+* ``extend`` applies the endpoint convention;
+* statistics track the work actually performed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageInstance
+from repro.engine import (
+    ENGINES,
+    BatchEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    create_engine,
+)
+from repro.engine.base import coverage_nodes
+from repro.exceptions import ParameterError
+from repro.graph import from_weighted_edges
+
+ENGINE_NAMES = sorted(ENGINES)
+
+
+def _engine(name, graph, seed=0, **kwargs):
+    return create_engine(name, graph, seed=seed, **kwargs)
+
+
+class TestFactory:
+    def test_known_names(self, grid3x3):
+        for name in ENGINE_NAMES:
+            with _engine(name, grid3x3) as engine:
+                assert engine.name == name
+
+    def test_unknown_name(self, grid3x3):
+        with pytest.raises(ParameterError):
+            create_engine("turbo", grid3x3)
+
+    def test_registry_covers_classes(self):
+        assert ENGINES == {
+            "serial": SerialEngine,
+            "batch": BatchEngine,
+            "process": ProcessPoolEngine,
+        }
+
+    def test_bad_workers(self, grid3x3):
+        with pytest.raises(ParameterError):
+            ProcessPoolEngine(grid3x3, workers=0)
+
+    def test_bad_chunk_size(self, grid3x3):
+        with pytest.raises(ParameterError):
+            ProcessPoolEngine(grid3x3, chunk_size=0)
+
+    def test_negative_count_rejected(self, grid3x3):
+        for name in ENGINE_NAMES:
+            with _engine(name, grid3x3) as engine:
+                with pytest.raises(ParameterError):
+                    engine.draw(-1)
+
+
+class TestDrawBasics:
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_count_and_validity(self, grid3x3, name):
+        with _engine(name, grid3x3, seed=7) as engine:
+            samples = engine.draw(50)
+        assert len(samples) == 50
+        for sample in samples:
+            assert sample.source != sample.target
+            assert sample.nodes[0] == sample.source
+            assert sample.nodes[-1] == sample.target
+            assert len(sample.nodes) == sample.distance + 1
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_zero_draw(self, grid3x3, name):
+        with _engine(name, grid3x3) as engine:
+            assert engine.draw(0) == []
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_null_samples_on_disconnected(self, two_triangles, name):
+        with _engine(name, two_triangles, seed=3) as engine:
+            samples = engine.draw(60)
+        # 18 of 30 ordered pairs straddle the components
+        nulls = sum(sample.is_null for sample in samples)
+        assert 0 < nulls < 60
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_weighted_graph(self, name):
+        graph = from_weighted_edges(
+            [(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 2)], n=4
+        )
+        with _engine(name, graph, seed=11) as engine:
+            samples = engine.draw(20)
+        assert len(samples) == 20
+        for sample in samples:
+            assert not sample.is_null
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_same_seed_same_samples(self, grid3x3, name):
+        def run():
+            with _engine(name, grid3x3, seed=42) as engine:
+                return engine.draw(40)
+
+        first, second = run(), run()
+        for a, b in zip(first, second):
+            assert a.source == b.source
+            assert a.target == b.target
+            assert np.array_equal(a.nodes, b.nodes)
+
+    def test_process_identical_across_worker_counts(self, grid3x3):
+        """The chunked sub-stream scheme: workers=1,2,4 agree bitwise."""
+
+        def run(workers):
+            engine = ProcessPoolEngine(
+                grid3x3, seed=2024, workers=workers, chunk_size=16
+            )
+            with engine:
+                return engine.draw(100)
+
+        reference = run(1)
+        for workers in (2, 4):
+            samples = run(workers)
+            assert len(samples) == len(reference)
+            for a, b in zip(reference, samples):
+                assert a.source == b.source
+                assert a.target == b.target
+                assert np.array_equal(a.nodes, b.nodes)
+
+    def test_process_groups_identical_across_worker_counts(self, barbell):
+        """End-to-end: AdaAlg's group is invariant to the worker count."""
+        from repro.algorithms import AdaAlg
+
+        def run(workers):
+            algorithm = AdaAlg(
+                eps=0.5, gamma=0.1, seed=5, engine="process", workers=workers
+            )
+            return algorithm.run(barbell, 2)
+
+        reference = run(1)
+        for workers in (2, 4):
+            result = run(workers)
+            assert result.group == reference.group
+            assert result.estimate == reference.estimate
+            assert result.num_samples == reference.num_samples
+
+
+class TestDistribution:
+    """Engines must sample the same path law, not just any paths."""
+
+    @staticmethod
+    def _pair_counts(samples, n):
+        counts = np.zeros((n, n), dtype=np.int64)
+        for sample in samples:
+            counts[sample.source, sample.target] += 1
+        return counts.ravel()
+
+    def test_pair_marginal_uniform(self, grid3x3):
+        """Each engine's (s, t) marginal is uniform over ordered pairs."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        n = grid3x3.n
+        draws = 7200
+        mask = ~np.eye(n, dtype=bool).ravel()
+        for name in ENGINE_NAMES:
+            with _engine(name, grid3x3, seed=99) as engine:
+                counts = self._pair_counts(engine.draw(draws), n)[mask]
+            _, pvalue = scipy_stats.chisquare(counts)
+            assert pvalue > 1e-3, f"{name}: pair marginal not uniform (p={pvalue})"
+
+    def test_engines_agree_on_path_choice(self, diamond):
+        """On the diamond, paths 0-1-3 and 0-2-3 are equally likely for
+        the (0, 3) pair — and every engine must split them evenly."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        observed = {}
+        for name in ENGINE_NAMES:
+            with _engine(name, diamond, seed=17) as engine:
+                samples = engine.draw(6000)
+            via1 = via2 = 0
+            for sample in samples:
+                if {sample.source, sample.target} == {0, 3}:
+                    if 1 in sample.nodes:
+                        via1 += 1
+                    else:
+                        via2 += 1
+            _, pvalue = scipy_stats.chisquare([via1, via2])
+            observed[name] = pvalue
+        for name, pvalue in observed.items():
+            assert pvalue > 1e-3, f"{name}: uneven path split (p={pvalue})"
+
+
+class TestExtend:
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_extend_grows_to_target(self, grid3x3, name):
+        instance = CoverageInstance(grid3x3.n)
+        with _engine(name, grid3x3, seed=1) as engine:
+            engine.extend(instance, 25)
+            assert instance.num_paths == 25
+            engine.extend(instance, 10)  # no shrink, no-op
+            assert instance.num_paths == 25
+            engine.extend(instance, 40)
+            assert instance.num_paths == 40
+
+    def test_extend_respects_endpoint_convention(self, path5):
+        with_ends = CoverageInstance(path5.n)
+        without = CoverageInstance(path5.n)
+        with SerialEngine(path5, seed=8, include_endpoints=True) as engine:
+            engine.extend(with_ends, 30)
+        with SerialEngine(path5, seed=8, include_endpoints=False) as engine:
+            engine.extend(without, 30)
+        # same seed, same paths: stripping endpoints only shrinks them
+        for pid in range(30):
+            a, b = with_ends.path(pid), without.path(pid)
+            assert len(b) in (len(a) - 2, 0) or len(a) == 0
+
+    def test_coverage_nodes_helper(self, grid3x3):
+        with SerialEngine(grid3x3, seed=0) as engine:
+            (sample,) = engine.draw(1)
+        full = coverage_nodes(sample, True)
+        inner = coverage_nodes(sample, False)
+        assert np.array_equal(full, sample.nodes)
+        assert np.array_equal(inner, sample.nodes[1:-1])
+
+
+class TestStats:
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_counters_accumulate(self, grid3x3, name):
+        with _engine(name, grid3x3, seed=4) as engine:
+            engine.draw(30)
+            engine.draw(20)
+            stats = engine.stats
+        assert stats.samples == 50
+        assert stats.draw_calls == 2
+        assert stats.traversals > 0
+        assert stats.batches > 0
+        assert stats.edges_explored > 0
+        payload = stats.as_dict()
+        assert payload["samples"] == 50
+        assert isinstance(payload["worker_samples"], dict)
+
+    def test_serial_small_draws_one_traversal_each(self, grid3x3):
+        with SerialEngine(grid3x3, seed=4) as engine:
+            engine.draw(5)  # below n=9: per-sample path
+            assert engine.stats.traversals == 5
+
+    def test_batch_amortizes_traversals(self, grid3x3):
+        with BatchEngine(grid3x3, seed=4) as engine:
+            engine.draw(500)
+            # at most one BFS per distinct source
+            assert engine.stats.traversals <= grid3x3.n
+            assert engine.stats.batches == 1
+
+    def test_process_worker_utilization_recorded(self, grid3x3):
+        with ProcessPoolEngine(grid3x3, seed=4, workers=2, chunk_size=32) as engine:
+            engine.draw(128)
+            stats = engine.stats
+        assert sum(stats.worker_samples.values()) == 128
+        assert stats.batches == 4
+
+    def test_engine_stats_surface_in_diagnostics(self, barbell):
+        from repro.algorithms import Hedge
+
+        result = Hedge(eps=0.5, gamma=0.1, seed=0, max_samples=5000).run(barbell, 2)
+        info = result.diagnostics["engine"]
+        assert info["name"] == "serial"
+        total = sum(s["samples"] for s in info["stats"])
+        assert total == result.num_samples
+        assert result.diagnostics["edges_explored"] == sum(
+            s["edges_explored"] for s in info["stats"]
+        )
+
+
+class TestSerialMatchesHistorical:
+    def test_serial_equals_batch_for_large_draws(self, grid3x3):
+        """At counts >= n the serial engine takes the batch path, so the
+        two in-process engines coincide exactly."""
+        with SerialEngine(grid3x3, seed=13) as serial:
+            a = serial.draw(100)
+        with BatchEngine(grid3x3, seed=13) as batch:
+            b = batch.draw(100)
+        for x, y in zip(a, b):
+            assert x.source == y.source and x.target == y.target
+            assert np.array_equal(x.nodes, y.nodes)
