@@ -1,0 +1,128 @@
+"""Wavefront-kernel benchmark: scalar vs vectorized cohort traversal.
+
+Times drawing the same seeded sample pool on a Barabási–Albert graph
+through three configurations of the pair-first cohort schedule:
+
+* ``batch`` engine, ``scalar`` kernel — one bidirectional search per
+  query (the per-query baseline the wavefront must beat);
+* ``batch`` engine, ``wavefront`` kernel — many queries per numpy call;
+* ``process`` engine, ``wavefront`` kernel — the same kernel inside
+  pool chunks over the shared-memory graph.
+
+All three draw from the *identical* distribution; the batch rows are
+additionally bit-identical sample-for-sample (asserted here), so the
+speedup is pure execution efficiency.  At bench scale and above the
+wavefront must be at least 3x faster than the scalar baseline; the
+smoke preset only requires it not to lose.
+
+Results land in ``benchmarks/results/bench_wavefront.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.engine import create_engine
+from repro.experiments import FigureResult
+from repro.graph import barabasi_albert
+
+#: preset -> (graph nodes, BA attachment m, samples drawn)
+_SCALE = {
+    "smoke": (2_000, 5, 400),
+    "bench": (20_000, 5, 2_000),
+    "reduced": (20_000, 5, 8_000),
+    "full": (50_000, 5, 10_000),
+}
+
+_SEED = 20250806
+_CONFIGS = [
+    ("batch", "scalar"),
+    ("batch", "wavefront"),
+    ("process", "wavefront"),
+]
+
+
+def _run_wavefront(preset_name):
+    n, m, draws = _SCALE[preset_name]
+    graph = barabasi_albert(n, m, seed=_SEED)
+    workers = os.cpu_count() or 1
+    rows = []
+    samples_by_config = {}
+    for engine_name, kernel in _CONFIGS:
+        with create_engine(
+            engine_name, graph, seed=_SEED, kernel=kernel, workers=workers
+        ) as engine:
+            start = time.perf_counter()
+            samples = engine.draw(draws)
+            elapsed = time.perf_counter() - start
+            stats = engine.stats
+        samples_by_config[(engine_name, kernel)] = samples
+        rows.append(
+            [
+                engine_name,
+                kernel,
+                draws,
+                len(samples),
+                stats.edges_explored,
+                stats.workers,
+                round(elapsed, 4),
+            ]
+        )
+    # the two batch rows share one RNG schedule: bit-identical samples
+    scalar = samples_by_config[("batch", "scalar")]
+    vector = samples_by_config[("batch", "wavefront")]
+    _run_wavefront.identical = all(
+        a.source == b.source
+        and a.target == b.target
+        and a.distance == b.distance
+        and a.sigma_st == b.sigma_st
+        and list(a.nodes) == list(b.nodes)
+        for a, b in zip(scalar, vector)
+    )
+    return FigureResult(
+        name="Bench: wavefront",
+        title=f"{draws} cohort samples on BA(n={n}, m={m})",
+        headers=[
+            "engine",
+            "kernel",
+            "draws",
+            "paths",
+            "edges_explored",
+            "workers",
+            "seconds",
+        ],
+        rows=rows,
+        meta={"seed": _SEED, "cpu_count": workers, "n": n, "m": m},
+    )
+
+
+def test_wavefront_speedup(benchmark, preset_name, strict_shapes):
+    figure = run_once(benchmark, _run_wavefront, preset_name)
+    print()
+    print(figure.render())
+
+    by_config = {(row[0], row[1]): row for row in figure.rows}
+    scalar = by_config[("batch", "scalar")]
+    vector = by_config[("batch", "wavefront")]
+    pooled = by_config[("process", "wavefront")]
+    draws = _SCALE[preset_name][2]
+
+    # identical workload, identical samples on the batch rows
+    for row in figure.rows:
+        assert row[3] == draws
+    assert scalar[4] == vector[4], "kernels disagree on traversal work"
+    assert _run_wavefront.identical, "batch kernels produced different samples"
+
+    # the vectorized kernel must never lose to its scalar twin...
+    assert vector[6] < scalar[6], (
+        f"wavefront ({vector[6]}s) slower than scalar ({scalar[6]}s)"
+    )
+    # ...and at bench scale the win must be at least 3x
+    if strict_shapes:
+        speedup = scalar[6] / vector[6]
+        assert speedup >= 3.0, f"wavefront speedup {speedup:.2f}x < 3x"
+    # the pool must at least complete the same workload correctly
+    assert pooled[3] == draws

@@ -95,6 +95,8 @@ class AdaAlg(SamplingAlgorithm):
         seed=None,
         engine: str = "serial",
         workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
         max_samples: int | None = None,
         validation_set: bool = True,
     ):
@@ -106,6 +108,8 @@ class AdaAlg(SamplingAlgorithm):
             seed=seed,
             engine=engine,
             workers=workers,
+            kernel=kernel,
+            cache_sources=cache_sources,
         )
         if not 0.0 < eps < _EULER:
             # stricter than the base class: the approximation target

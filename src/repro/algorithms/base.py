@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._rng import as_generator, spawn
-from ..engine import ENGINES, SampleEngine, coverage_nodes, create_engine
+from ..engine import ENGINES, KERNELS, SampleEngine, coverage_nodes, create_engine
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from ..paths.sampler import PathSample
@@ -113,6 +113,14 @@ class SamplingAlgorithm(GBCAlgorithm):
     workers:
         Worker-process count for the ``"process"`` engine (ignored by
         in-process engines); ``None`` means all available cores.
+    kernel:
+        Traversal kernel for the batch/process engines
+        (:data:`repro.engine.KERNELS`); ``"wavefront"`` by default.
+        Runs are bit-identical across ``"wavefront"`` and
+        ``"scalar"`` — the knob trades speed, never results.
+    cache_sources:
+        Forward-BFS tree cache size forwarded to the engines (``0``
+        disables caching).
     """
 
     def __init__(
@@ -124,6 +132,8 @@ class SamplingAlgorithm(GBCAlgorithm):
         seed=None,
         engine: str = "serial",
         workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
     ):
         if not 0.0 < eps < 1.0:
             raise ParameterError(f"eps must lie in (0, 1), got {eps}")
@@ -134,12 +144,23 @@ class SamplingAlgorithm(GBCAlgorithm):
             raise ParameterError(
                 f"unknown engine {engine!r}; expected one of: {known}"
             )
+        if kernel not in KERNELS:
+            known = ", ".join(KERNELS)
+            raise ParameterError(
+                f"unknown traversal kernel {kernel!r}; expected one of: {known}"
+            )
+        if cache_sources < 0:
+            raise ParameterError(
+                f"cache_sources must be non-negative, got {cache_sources}"
+            )
         self.eps = eps
         self.gamma = gamma
         self.include_endpoints = include_endpoints
         self.sampler_method = sampler_method
         self.engine = engine
         self.workers = workers
+        self.kernel = kernel
+        self.cache_sources = cache_sources
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -153,6 +174,8 @@ class SamplingAlgorithm(GBCAlgorithm):
                 method=self.sampler_method,
                 include_endpoints=self.include_endpoints,
                 workers=self.workers,
+                kernel=self.kernel,
+                cache_sources=self.cache_sources,
             )
             for child in spawn(self._rng, count)
         ]
@@ -166,7 +189,13 @@ class SamplingAlgorithm(GBCAlgorithm):
         stats = [eng.stats.as_dict() for eng in engines]
         return {
             "edges_explored": sum(s["edges_explored"] for s in stats),
-            "engine": {"name": self.engine, "stats": stats},
+            "engine": {
+                "name": self.engine,
+                # the kernel the engines actually run (after weighted /
+                # non-bidirectional fallback); None for kernel-less engines
+                "kernel": getattr(engines[0], "kernel", None) if engines else None,
+                "stats": stats,
+            },
         }
 
     @staticmethod

@@ -48,6 +48,8 @@ class CentRa(Hedge):
         seed=None,
         engine: str = "serial",
         workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
         max_samples: int | None = None,
         empirical_stop: bool = False,
         era_draws: int = 8,
@@ -61,6 +63,8 @@ class CentRa(Hedge):
             seed=seed,
             engine=engine,
             workers=workers,
+            kernel=kernel,
+            cache_sources=cache_sources,
             max_samples=max_samples,
         )
         self.empirical_stop = empirical_stop

@@ -45,6 +45,8 @@ class Exhaust(Hedge):
         seed=None,
         engine: str = "serial",
         workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
         max_samples: int | None = None,
     ):
         super().__init__(
@@ -55,6 +57,8 @@ class Exhaust(Hedge):
             seed=seed,
             engine=engine,
             workers=workers,
+            kernel=kernel,
+            cache_sources=cache_sources,
             max_samples=max_samples,
         )
         self.num_samples = num_samples

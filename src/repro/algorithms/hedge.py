@@ -54,6 +54,8 @@ class Hedge(SamplingAlgorithm):
         seed=None,
         engine: str = "serial",
         workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
         max_samples: int | None = None,
     ):
         super().__init__(
@@ -64,6 +66,8 @@ class Hedge(SamplingAlgorithm):
             seed=seed,
             engine=engine,
             workers=workers,
+            kernel=kernel,
+            cache_sources=cache_sources,
         )
         if guess_base <= 1.0:
             raise ParameterError(f"guess_base must exceed 1, got {guess_base}")

@@ -40,7 +40,7 @@ from .algorithms import (
     YoshidaSketch,
 )
 from .datasets import DATASETS, load
-from .engine import ENGINES
+from .engine import ENGINES, KERNELS
 from .experiments import (
     BENCH,
     FULL,
@@ -127,6 +127,22 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="worker processes for --engine process (default: all cores)",
         )
+        parser_.add_argument(
+            "--kernel",
+            choices=list(KERNELS),
+            default="wavefront",
+            help="traversal kernel for the batch/process engines "
+            "(default wavefront; results are identical across "
+            "wavefront and scalar)",
+        )
+        parser_.add_argument(
+            "--cache-sources",
+            type=int,
+            default=0,
+            metavar="N",
+            help="LRU-cache up to N forward-BFS trees in the sampler "
+            "(default 0 = off)",
+        )
 
     run = sub.add_parser("run", help="run one algorithm on one graph")
     add_graph_source(run)
@@ -182,8 +198,15 @@ def _make_algorithm(
     seed: int,
     engine: str = "serial",
     workers: int | None = None,
+    kernel: str = "wavefront",
+    cache_sources: int = 0,
 ):
-    sampling = {"engine": engine, "workers": workers}
+    sampling = {
+        "engine": engine,
+        "workers": workers,
+        "kernel": kernel,
+        "cache_sources": cache_sources,
+    }
     factories = {
         "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed, **sampling),
         "hedge": lambda: Hedge(eps=eps, gamma=gamma, seed=seed, **sampling),
@@ -211,13 +234,21 @@ def _load_graph(args):
 def _cmd_run(args) -> int:
     graph = _load_graph(args)
     algorithm = _make_algorithm(
-        args.algorithm, args.eps, args.gamma, args.seed, args.engine, args.workers
+        args.algorithm,
+        args.eps,
+        args.gamma,
+        args.seed,
+        args.engine,
+        args.workers,
+        args.kernel,
+        args.cache_sources,
     )
     result = algorithm.run(graph, args.k)
     pairs = graph.num_ordered_pairs
     print(f"algorithm   : {result.algorithm}")
     print(f"engine      : {args.engine}"
-          + (f" (workers={args.workers})" if args.workers else ""))
+          + (f" (workers={args.workers})" if args.workers else "")
+          + f" kernel={args.kernel}")
     print(f"graph       : n={graph.n} m={graph.num_edges} "
           f"({'directed' if graph.directed else 'undirected'})")
     print(f"group (K={args.k}): {sorted(result.group)}")
@@ -238,7 +269,14 @@ def _cmd_compare(args) -> int:
     rows = []
     for name in args.algorithms:
         algorithm = _make_algorithm(
-            name, args.eps, args.gamma, args.seed, args.engine, args.workers
+            name,
+            args.eps,
+            args.gamma,
+            args.seed,
+            args.engine,
+            args.workers,
+            args.kernel,
+            args.cache_sources,
         )
         result = algorithm.run(graph, args.k)
         quality = (

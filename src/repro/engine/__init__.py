@@ -8,19 +8,33 @@ All sampling algorithms draw their paths through a
     shortcut) — the default, matching seeded runs from before the
     engine layer existed.
 ``batch``
-    Always route through the source-grouped amortized batch sampler.
+    Serve every draw as one batch through the selected traversal
+    kernel (wavefront cohorts by default).
 ``process``
-    Fan chunks of samples out to a pool of worker processes; results
-    are bit-identical across worker counts for a fixed seed.
+    Fan chunks of samples out to a pool of worker processes over a
+    shared-memory graph; results are bit-identical across worker
+    counts for a fixed seed.
+
+The ``kernel`` knob (``wavefront`` / ``scalar`` / ``grouped``, see
+:data:`~repro.engine.base.KERNELS`) selects how the batch and process
+engines traverse; ``cache_sources`` sizes the forward-BFS tree cache.
 """
 
 from __future__ import annotations
 
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
-from .base import EngineStats, SampleEngine, coverage_nodes
+from .base import (
+    KERNELS,
+    EngineStats,
+    SampleEngine,
+    cohort_kernel,
+    coverage_nodes,
+    resolve_kernel,
+)
 from .pool import ProcessPoolEngine
 from .serial import BatchEngine, SerialEngine
+from .shm import SharedGraphBlocks, attach_graph
 
 __all__ = [
     "EngineStats",
@@ -28,9 +42,14 @@ __all__ = [
     "SerialEngine",
     "BatchEngine",
     "ProcessPoolEngine",
+    "SharedGraphBlocks",
+    "attach_graph",
     "ENGINES",
+    "KERNELS",
     "create_engine",
     "coverage_nodes",
+    "resolve_kernel",
+    "cohort_kernel",
 ]
 
 #: Name -> engine class registry used by ``create_engine`` and the CLI.
@@ -49,23 +68,30 @@ def create_engine(
     method: str = "bidirectional",
     include_endpoints: bool = True,
     workers: int | None = None,
+    kernel: str = "wavefront",
+    cache_sources: int = 0,
 ) -> SampleEngine:
     """Instantiate the engine registered under ``name``.
 
-    ``workers`` only applies to the process engine; passing it with an
-    in-process engine is accepted (and ignored) so callers can thread a
-    single pair of knobs through unconditionally.
+    ``workers`` only applies to the process engine and ``kernel`` to
+    the batch/process engines; passing them with other engines is
+    accepted (and ignored) so callers can thread a single set of knobs
+    through unconditionally.  ``cache_sources`` applies everywhere.
     """
     try:
         cls = ENGINES[name]
     except KeyError:
         known = ", ".join(sorted(ENGINES))
         raise ParameterError(f"unknown engine {name!r}; expected one of: {known}")
+    resolve_kernel(kernel, graph, method)  # reject unknown names early
     kwargs = {
         "seed": seed,
         "method": method,
         "include_endpoints": include_endpoints,
+        "cache_sources": cache_sources,
     }
+    if issubclass(cls, (BatchEngine, ProcessPoolEngine)):
+        kwargs["kernel"] = kernel
     if cls is ProcessPoolEngine:
         kwargs["workers"] = workers
     return cls(graph, **kwargs)

@@ -36,9 +36,60 @@ from .._rng import as_generator
 from ..coverage.hypergraph import CoverageInstance
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..paths._dispatch import is_weighted
 from ..paths.sampler import PathSample
 
-__all__ = ["EngineStats", "SampleEngine", "coverage_nodes"]
+__all__ = [
+    "EngineStats",
+    "SampleEngine",
+    "coverage_nodes",
+    "KERNELS",
+    "resolve_kernel",
+    "cohort_kernel",
+]
+
+#: Traversal kernels an engine can route batched draws through.
+#:
+#: ``"wavefront"``
+#:     Level-synchronous multi-query bidirectional BFS — many queries
+#:     advanced per numpy call (:mod:`repro.paths.wavefront`).
+#: ``"scalar"``
+#:     The same pair-first cohort schedule, one
+#:     :func:`~repro.paths.bidirectional.bidirectional_search` per
+#:     query.  Bit-identical samples to ``"wavefront"``.
+#: ``"grouped"``
+#:     The legacy source-grouped amortized batch sampler
+#:     (:meth:`~repro.paths.sampler.PathSampler.sample_batch`) — a
+#:     *different* (equally valid) restructuring of the draw order, so
+#:     its concrete samples differ from the cohort kernels.
+KERNELS = ("wavefront", "scalar", "grouped")
+
+
+def resolve_kernel(kernel: str, graph: CSRGraph, method: str) -> str:
+    """Validate ``kernel`` and apply the automatic fallbacks.
+
+    The cohort kernels require the unweighted bidirectional method;
+    ``"wavefront"`` (and ``"scalar"``) degrade to ``"grouped"`` on
+    weighted graphs or non-bidirectional methods, mirroring the
+    sampler's own dispatch.  Unknown names raise
+    :class:`~repro.exceptions.ParameterError`.
+    """
+    if kernel not in KERNELS:
+        known = ", ".join(KERNELS)
+        raise ParameterError(
+            f"unknown traversal kernel {kernel!r}; expected one of: {known}"
+        )
+    if kernel != "grouped" and (is_weighted(graph) or method != "bidirectional"):
+        return "grouped"
+    return kernel
+
+
+def cohort_kernel(kernel: str, graph: CSRGraph, method: str) -> str | None:
+    """The :meth:`~repro.paths.sampler.PathSampler.sample_cohort`
+    kernel to use, or ``None`` when the draw must take the legacy
+    grouped path."""
+    resolved = resolve_kernel(kernel, graph, method)
+    return None if resolved == "grouped" else resolved
 
 
 def coverage_nodes(sample: PathSample, include_endpoints: bool) -> np.ndarray:
@@ -71,6 +122,12 @@ class EngineStats:
     worker_samples:
         Samples served per worker process id — the utilization
         breakdown for the parallel engine (empty when in-process).
+    pool_startups:
+        Worker-pool launches — stays at 1 across many ``draw`` /
+        ``extend`` calls when the executor is reused correctly.
+    cache_hits, cache_misses:
+        Forward-BFS tree cache activity (``cache_sources`` knob);
+        both zero when the cache is disabled.
     """
 
     samples: int = 0
@@ -80,6 +137,9 @@ class EngineStats:
     edges_explored: int = 0
     workers: int = 0
     worker_samples: dict[int, int] = field(default_factory=dict)
+    pool_startups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-friendly copy for ``GBCResult.diagnostics``."""
@@ -91,6 +151,9 @@ class EngineStats:
             "edges_explored": self.edges_explored,
             "workers": self.workers,
             "worker_samples": dict(self.worker_samples),
+            "pool_startups": self.pool_startups,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -109,6 +172,10 @@ class SampleEngine(abc.ABC):
         :class:`~repro.paths.sampler.PathSampler`.
     include_endpoints:
         Endpoint convention applied by :meth:`extend`.
+    cache_sources:
+        Size of the forward-BFS tree cache forwarded to the engine's
+        :class:`~repro.paths.sampler.PathSampler` instances (``0``
+        disables caching, the default).
     """
 
     #: Registry name, set by subclasses ("serial", "batch", "process").
@@ -120,10 +187,16 @@ class SampleEngine(abc.ABC):
         seed=None,
         method: str = "bidirectional",
         include_endpoints: bool = True,
+        cache_sources: int = 0,
     ):
+        if cache_sources < 0:
+            raise ParameterError(
+                f"cache_sources must be non-negative, got {cache_sources}"
+            )
         self.graph = graph
         self.method = method
         self.include_endpoints = include_endpoints
+        self.cache_sources = int(cache_sources)
         self._rng = as_generator(seed)
         self.stats = EngineStats()
 

@@ -8,21 +8,25 @@ only design problems are *determinism* and *graph distribution*:
   engine's master stream (:func:`repro._rng.spawn_seeds`) *in chunk
   order*.  Workers may finish chunks in any order, but results are
   reassembled by chunk index, so the sample sequence is a pure
-  function of ``(seed, chunk_size)`` — bit-identical for 1, 2, or 8
-  workers, and identical to the engine's own in-process fallback.
-  This is the "almost no synchronization" recipe of van der Grinten
-  et al.: workers share nothing but the immutable graph and their
-  pre-assigned sub-streams.
-* **Graph distribution.**  The immutable CSR arrays are shipped to
-  each worker once, at pool start-up (under the default ``fork`` start
-  method they are inherited copy-on-write; under ``spawn`` they are
-  pickled once per worker, not per chunk).  Workers rebuild the graph
-  in an initializer and reuse it for every chunk.
+  function of ``(seed, chunk_size, kernel)`` — bit-identical for 0
+  (in-process), 1, 2, or 8 workers.  This is the "almost no
+  synchronization" recipe of van der Grinten et al.: workers share
+  nothing but the immutable graph and their pre-assigned sub-streams.
+* **Graph distribution.**  The immutable CSR arrays are copied once
+  into named :mod:`multiprocessing.shared_memory` segments
+  (:mod:`repro.engine.shm`); workers attach by name and wrap the
+  buffers zero-copy — the same cost under ``fork`` and ``spawn``,
+  and independent of the worker count.  The parent owns the segments
+  and unlinks them on :meth:`ProcessPoolEngine.close`, including
+  after a worker crash.  Environments whose ``/dev/shm`` is
+  unavailable fall back to pickling the arrays into each worker.
 
-Environments that forbid subprocesses (locked-down sandboxes) degrade
-gracefully: the engine falls back to executing the same chunk schedule
-in-process, preserving results exactly and reporting ``workers=0`` in
-its statistics.
+The executor is started lazily on the first draw and **reused** across
+every subsequent ``draw`` / ``extend`` call; ``stats.pool_startups``
+counts the launches (it stays at 1 for a healthy engine).  Environments
+that forbid subprocesses entirely degrade gracefully: the engine runs
+the same chunk schedule in-process, preserving results exactly and
+reporting ``workers=0``.
 """
 
 from __future__ import annotations
@@ -35,71 +39,101 @@ from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from ..graph.weighted import WeightedCSRGraph
 from ..paths.sampler import PathSample, PathSampler
-from .base import SampleEngine
+from .base import SampleEngine, cohort_kernel, resolve_kernel
+from .shm import SharedGraphBlocks, attach_graph
 
 __all__ = ["ProcessPoolEngine"]
 
 _DEFAULT_CHUNK = 1024
 
-# Per-worker state, set once by the pool initializer.
-_WORKER_GRAPH: CSRGraph | None = None
-_WORKER_METHOD: str = "bidirectional"
+#: Per-worker state set once by the pool initializer: the rebuilt graph,
+#: the shared-memory handles keeping its buffers alive, and the sampling
+#: configuration every chunk reuses.
+_WORKER_STATE: dict = {}
 
 
-def _graph_payload(graph: CSRGraph) -> dict:
-    """The minimal picklable description of an immutable graph."""
-    payload = {
-        "indptr": graph.indptr,
-        "indices": graph.indices,
+def _pickle_payload(graph: CSRGraph) -> dict:
+    """Fallback graph description when shared memory is unavailable."""
+    return {
+        "arrays": {k: v for k, v in graph.export_arrays().items()},
         "directed": graph.directed,
+        "weighted": isinstance(graph, WeightedCSRGraph),
     }
-    if graph.directed:
-        payload["rev_indptr"] = graph.rev_indptr
-        payload["rev_indices"] = graph.rev_indices
-    if isinstance(graph, WeightedCSRGraph):
-        payload["weights"] = graph.weights
-        if graph.directed:
-            payload["rev_weights"] = graph.rev_weights
-    return payload
 
 
-def _rebuild_graph(payload: dict) -> CSRGraph:
-    """Reconstruct the graph a worker samples from."""
-    if "weights" in payload:
-        return WeightedCSRGraph(
-            payload["indptr"],
-            payload["indices"],
-            payload["weights"],
-            directed=payload["directed"],
-            rev_indptr=payload.get("rev_indptr"),
-            rev_indices=payload.get("rev_indices"),
-            rev_weights=payload.get("rev_weights"),
-        )
-    return CSRGraph(
-        payload["indptr"],
-        payload["indices"],
-        directed=payload["directed"],
-        rev_indptr=payload.get("rev_indptr"),
-        rev_indices=payload.get("rev_indices"),
+def _materialize_graph(transport: str, payload: dict):
+    """Rebuild the worker's graph; returns ``(graph, shm_handles)``."""
+    if transport == "shm":
+        return attach_graph(payload)
+    cls = WeightedCSRGraph if payload["weighted"] else CSRGraph
+    return cls.from_arrays(payload["arrays"], directed=payload["directed"]), []
+
+
+def _init_worker(
+    transport: str,
+    payload: dict,
+    method: str,
+    kernel: str,
+    cohort_size: int | None,
+    cache_sources: int,
+) -> None:
+    graph, handles = _materialize_graph(transport, payload)
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        graph=graph,
+        handles=handles,
+        method=method,
+        kernel=kernel,
+        cohort_size=cohort_size,
+        cache_sources=cache_sources,
     )
 
 
-def _init_worker(payload: dict, method: str) -> None:
-    global _WORKER_GRAPH, _WORKER_METHOD
-    _WORKER_GRAPH = _rebuild_graph(payload)
-    _WORKER_METHOD = method
+def _chunk_samples(
+    graph: CSRGraph,
+    method: str,
+    kernel: str,
+    cohort_size: int | None,
+    cache_sources: int,
+    seed: int,
+    count: int,
+) -> tuple[list[PathSample], int, int, int, int]:
+    """One chunk of samples from its own seeded stream.
 
-
-def _draw_chunk(seed: int, count: int):
-    """Executed in a worker: one chunk of samples from its own stream."""
-    sampler = PathSampler(_WORKER_GRAPH, seed=seed, method=_WORKER_METHOD)
-    samples = sampler.sample_batch(count)
+    The single chunk body shared by pool workers and the in-process
+    fallback — the reason results are bit-identical across worker
+    counts.  Returns ``(samples, traversals, edges, hits, misses)``.
+    """
+    sampler = PathSampler(
+        graph, seed=seed, method=method, cache_sources=cache_sources
+    )
+    cohort = cohort_kernel(kernel, graph, method)
+    if cohort is None:
+        samples = sampler.sample_batch(count)
+    else:
+        samples = sampler.sample_cohort(count, kernel=cohort, cohort_size=cohort_size)
     return (
-        os.getpid(),
         samples,
         sampler.total_traversals,
         sampler.total_edges_explored,
+        sampler.cache_hits,
+        sampler.cache_misses,
     )
+
+
+def _draw_chunk(seed: int, count: int):
+    """Executed in a worker: run the shared chunk body on its graph."""
+    state = _WORKER_STATE
+    result = _chunk_samples(
+        state["graph"],
+        state["method"],
+        state["kernel"],
+        state["cohort_size"],
+        state["cache_sources"],
+        seed,
+        count,
+    )
+    return (os.getpid(), *result)
 
 
 class ProcessPoolEngine(SampleEngine):
@@ -108,12 +142,24 @@ class ProcessPoolEngine(SampleEngine):
     Parameters
     ----------
     workers:
-        Worker processes (default ``os.cpu_count()``).  Results are
-        bit-identical across worker counts for a fixed seed.
+        Worker processes (default ``os.cpu_count()``).  ``0`` forces
+        the in-process fallback (no subprocesses, no shared memory);
+        results are bit-identical across all worker counts for a
+        fixed seed.
     chunk_size:
         Samples per dispatched chunk.  Part of the determinism
         contract: changing it changes the sub-stream layout (and hence
         the concrete samples), while changing ``workers`` does not.
+    kernel:
+        Per-chunk traversal kernel: ``"wavefront"`` (default),
+        ``"scalar"``, or the legacy ``"grouped"`` — see
+        :data:`repro.engine.base.KERNELS`.  Weighted graphs fall back
+        to ``"grouped"`` automatically.
+    cohort_size:
+        Wavefront cohort width forwarded to each chunk.
+    cache_sources:
+        Per-worker forward-BFS tree cache size (``"grouped"`` kernel
+        only; caches are per-chunk, so this mainly helps large chunks).
     """
 
     name = "process"
@@ -124,37 +170,68 @@ class ProcessPoolEngine(SampleEngine):
         seed=None,
         method: str = "bidirectional",
         include_endpoints: bool = True,
+        cache_sources: int = 0,
         workers: int | None = None,
         chunk_size: int = _DEFAULT_CHUNK,
+        kernel: str = "wavefront",
+        cohort_size: int | None = None,
     ):
         super().__init__(
-            graph, seed=seed, method=method, include_endpoints=include_endpoints
+            graph,
+            seed=seed,
+            method=method,
+            include_endpoints=include_endpoints,
+            cache_sources=cache_sources,
         )
-        if workers is not None and workers < 1:
-            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if workers is not None and workers < 0:
+            raise ParameterError(f"workers must be >= 0, got {workers}")
         if chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.kernel = resolve_kernel(kernel, graph, method)
+        self.cohort_size = cohort_size
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
+        self._segments: SharedGraphBlocks | None = None
 
     # ------------------------------------------------------------------
+    def _worker_payload(self) -> tuple[str, dict]:
+        """Graph transport for worker initializers: shared memory when
+        the platform provides it, pickled arrays otherwise."""
+        if self._segments is None:
+            try:
+                self._segments = SharedGraphBlocks(self.graph)
+            except OSError:
+                return "pickle", _pickle_payload(self.graph)
+        return "shm", self._segments.spec
+
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
-        """The executor, started lazily; ``None`` if unavailable."""
-        if self._pool_broken:
+        """The executor, started lazily and reused across draws;
+        ``None`` if unavailable."""
+        if self._pool_broken or self.workers == 0:
             return None
         if self._pool is None:
+            transport, payload = self._worker_payload()
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(_graph_payload(self.graph), self.method),
+                    initargs=(
+                        transport,
+                        payload,
+                        self.method,
+                        self.kernel,
+                        self.cohort_size,
+                        self.cache_sources,
+                    ),
                 )
+                self.stats.pool_startups += 1
             except (OSError, PermissionError, ValueError):
                 # sandboxes without subprocess support: run the same
                 # chunk schedule in-process instead
                 self._pool_broken = True
+                self._release_segments()
                 return None
         return self._pool
 
@@ -180,31 +257,61 @@ class ProcessPoolEngine(SampleEngine):
                 ]
                 results = [future.result() for future in futures]
             except BrokenExecutor:
+                # a worker died: tear everything down (the pool AND the
+                # shared segments it was attached to) before falling back
                 self._pool_broken = True
                 self.close()
                 results = []
         if not results:
             # in-process fallback: identical chunk schedule and seeds
-            _init_worker(_graph_payload(self.graph), self.method)
             results = [
-                _draw_chunk(seed, size) for seed, size in zip(seeds, sizes)
+                (
+                    os.getpid(),
+                    *_chunk_samples(
+                        self.graph,
+                        self.method,
+                        self.kernel,
+                        self.cohort_size,
+                        self.cache_sources,
+                        seed,
+                        size,
+                    ),
+                )
+                for seed, size in zip(seeds, sizes)
             ]
 
         samples: list[PathSample] = []
-        for pid, chunk, traversals, edges in results:
+        for pid, chunk, traversals, edges, hits, misses in results:
             samples.extend(chunk)
             self.stats.traversals += traversals
             self.stats.edges_explored += edges
+            self.stats.cache_hits += hits
+            self.stats.cache_misses += misses
             self.stats.worker_samples[pid] = (
                 self.stats.worker_samples.get(pid, 0) + len(chunk)
             )
         self.stats.samples += count
         self.stats.draw_calls += 1
         self.stats.batches += len(sizes)
-        self.stats.workers = 0 if self._pool_broken else self.workers
+        self.stats.workers = (
+            0 if (self._pool_broken or self.workers == 0) else self.workers
+        )
         return samples
+
+    # ------------------------------------------------------------------
+    def _release_segments(self) -> None:
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self._release_segments()
+
+    def __del__(self):  # pragma: no cover - belt-and-braces cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

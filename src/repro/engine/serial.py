@@ -1,19 +1,22 @@
-"""In-process engines: serial traversals and amortized batches.
+"""In-process engines: serial traversals, amortized and cohort batches.
 
 :class:`SerialEngine` reproduces the historical behavior of the
 algorithms' ``_extend`` plumbing bit-for-bit: small requests are served
 one balanced traversal per sample, while requests of at least ``n``
 samples switch to the source-grouped batch sampler (one full BFS per
-distinct source).  :class:`BatchEngine` always takes the batch path —
-the right default when every request is large (EXHAUST's fixed budget,
-HEDGE's union-bound schedules).
+distinct source).  :class:`BatchEngine` always batches, and carries the
+``kernel`` knob: the default ``"wavefront"`` routes every draw through
+the vectorized multi-query bidirectional kernel
+(:mod:`repro.paths.wavefront`), ``"scalar"`` runs the same cohort
+schedule one search at a time (bit-identical samples), and
+``"grouped"`` keeps the legacy source-grouped amortization.
 """
 
 from __future__ import annotations
 
 from ..graph.csr import CSRGraph
 from ..paths.sampler import PathSample, PathSampler
-from .base import SampleEngine
+from .base import SampleEngine, cohort_kernel, resolve_kernel
 
 __all__ = ["SerialEngine", "BatchEngine"]
 
@@ -35,37 +38,92 @@ class SerialEngine(SampleEngine):
         seed=None,
         method: str = "bidirectional",
         include_endpoints: bool = True,
+        cache_sources: int = 0,
     ):
         super().__init__(
-            graph, seed=seed, method=method, include_endpoints=include_endpoints
+            graph,
+            seed=seed,
+            method=method,
+            include_endpoints=include_endpoints,
+            cache_sources=cache_sources,
         )
-        self._sampler = PathSampler(graph, seed=self._rng, method=method)
+        self._sampler = PathSampler(
+            graph, seed=self._rng, method=method, cache_sources=cache_sources
+        )
 
     def _use_batch(self, count: int) -> bool:
         return count >= self.graph.n
+
+    def _draw_samples(self, count: int) -> list[PathSample]:
+        if self._use_batch(count):
+            self.stats.batches += 1
+            return self._sampler.sample_batch(count)
+        self.stats.batches += count
+        return [self._sampler.sample() for _ in range(count)]
 
     def draw(self, count: int) -> list[PathSample]:
         self._check_count(count)
         sampler = self._sampler
         edges_before = sampler.total_edges_explored
         traversals_before = sampler.total_traversals
-        if self._use_batch(count):
-            samples = sampler.sample_batch(count)
-            self.stats.batches += 1
-        else:
-            samples = [sampler.sample() for _ in range(count)]
-            self.stats.batches += count
+        hits_before = sampler.cache_hits
+        misses_before = sampler.cache_misses
+        samples = self._draw_samples(count)
         self.stats.samples += count
         self.stats.draw_calls += 1
         self.stats.traversals += sampler.total_traversals - traversals_before
         self.stats.edges_explored += sampler.total_edges_explored - edges_before
+        self.stats.cache_hits += sampler.cache_hits - hits_before
+        self.stats.cache_misses += sampler.cache_misses - misses_before
         return samples
 
 
 class BatchEngine(SerialEngine):
-    """Always amortize: every draw goes through the batch sampler."""
+    """Always batch; route draws through the selected traversal kernel.
+
+    Parameters
+    ----------
+    kernel:
+        ``"wavefront"`` (default) or ``"scalar"`` use the pair-first
+        cohort schedule (bit-identical samples to each other);
+        ``"grouped"`` keeps the legacy source-grouped amortized
+        sampler.  Weighted graphs and non-bidirectional methods
+        automatically fall back to ``"grouped"``.
+    cohort_size:
+        Concurrent queries per wavefront cohort (``None`` = the
+        kernel's default).
+    """
 
     name = "batch"
 
+    def __init__(
+        self,
+        graph: CSRGraph,
+        seed=None,
+        method: str = "bidirectional",
+        include_endpoints: bool = True,
+        cache_sources: int = 0,
+        kernel: str = "wavefront",
+        cohort_size: int | None = None,
+    ):
+        super().__init__(
+            graph,
+            seed=seed,
+            method=method,
+            include_endpoints=include_endpoints,
+            cache_sources=cache_sources,
+        )
+        self.kernel = resolve_kernel(kernel, graph, method)
+        self.cohort_size = cohort_size
+
     def _use_batch(self, count: int) -> bool:
         return count > 0
+
+    def _draw_samples(self, count: int) -> list[PathSample]:
+        kernel = cohort_kernel(self.kernel, self.graph, self.method)
+        if kernel is None or count == 0:
+            return super()._draw_samples(count)
+        self.stats.batches += 1
+        return self._sampler.sample_cohort(
+            count, kernel=kernel, cohort_size=self.cohort_size
+        )

@@ -38,7 +38,11 @@ __all__ = [
 
 def engine_meta(config: ExperimentConfig) -> dict:
     """Provenance entries recording which engine produced a figure."""
-    return {"engine": config.engine, "workers": config.workers}
+    return {
+        "engine": config.engine,
+        "workers": config.workers,
+        "kernel": config.kernel,
+    }
 
 
 @dataclass
@@ -95,10 +99,18 @@ def run_fig1(config: ExperimentConfig, ks: Sequence[int] = (50, 100)) -> FigureR
             for _ in range(config.fig1_simulations):
                 rng_s, rng_t = spawn(master, 2)
                 engine_s = create_engine(
-                    config.engine, graph, seed=rng_s, workers=config.workers
+                    config.engine,
+                    graph,
+                    seed=rng_s,
+                    workers=config.workers,
+                    kernel=config.kernel,
                 )
                 engine_t = create_engine(
-                    config.engine, graph, seed=rng_t, workers=config.workers
+                    config.engine,
+                    graph,
+                    seed=rng_t,
+                    workers=config.workers,
+                    kernel=config.kernel,
                 )
                 selection = CoverageInstance(graph.n)
                 validation = CoverageInstance(graph.n)

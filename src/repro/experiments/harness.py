@@ -87,6 +87,9 @@ class ExperimentConfig:
     workers:
         Worker-process count for the ``"process"`` engine (``None`` =
         all cores); ignored by in-process engines.
+    kernel:
+        Traversal kernel for the batch/process engines
+        (:data:`repro.engine.KERNELS`).
     seed:
         Master seed; every cell derives its own stream from it.
     """
@@ -104,6 +107,7 @@ class ExperimentConfig:
     quality_mode: str = "holdout"
     engine: str = "serial"
     workers: int | None = None
+    kernel: str = "wavefront"
     seed: int = 20250704
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -173,7 +177,11 @@ FULL = ExperimentConfig(
 
 def build_sampling_algorithm(name: str, eps: float, config: ExperimentConfig, seed):
     """Construct one of the paper's sampling algorithms from a config."""
-    sampling = {"engine": config.engine, "workers": config.workers}
+    sampling = {
+        "engine": config.engine,
+        "workers": config.workers,
+        "kernel": config.kernel,
+    }
     if name == "HEDGE":
         return Hedge(
             eps=eps,
@@ -228,6 +236,7 @@ class DatasetContext:
             seed=rng,
             include_endpoints=True,
             workers=self.config.workers,
+            kernel=self.config.kernel,
         ) as engine:
             engine.extend(instance, count)
         return instance

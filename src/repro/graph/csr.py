@@ -154,6 +154,46 @@ class CSRGraph:
         return bool(np.any(self.neighbors(u) == v))
 
     # ------------------------------------------------------------------
+    # buffer export / attach (zero-copy process sharing)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The immutable arrays that fully describe this graph.
+
+        The keys match the keyword arguments of :meth:`from_arrays`, so
+        ``type(g).from_arrays(g.export_arrays(), directed=g.directed)``
+        reconstructs an equal graph.  Because the arrays are returned
+        by reference, callers can copy them into any buffer (e.g.
+        :mod:`multiprocessing.shared_memory` blocks) and re-attach
+        without ever pickling the adjacency.  For undirected graphs the
+        reverse adjacency aliases the forward one and is not exported.
+        """
+        arrays = {"indptr": self.indptr, "indices": self.indices}
+        if self.directed:
+            arrays["rev_indptr"] = self.rev_indptr
+            arrays["rev_indices"] = self.rev_indices
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], directed: bool = False
+    ) -> "CSRGraph":
+        """Attach a graph to arrays produced by :meth:`export_arrays`.
+
+        Zero-copy: arrays already in canonical dtype and layout (which
+        :meth:`export_arrays` guarantees) are adopted as-is, so the
+        graph can live directly on a shared-memory buffer owned by the
+        caller — the caller must keep that buffer alive for the
+        lifetime of the graph.
+        """
+        return cls(
+            arrays["indptr"],
+            arrays["indices"],
+            directed=directed,
+            rev_indptr=arrays.get("rev_indptr"),
+            rev_indices=arrays.get("rev_indices"),
+        )
+
+    # ------------------------------------------------------------------
     # iteration / export
     # ------------------------------------------------------------------
     def edges(self) -> Iterator[tuple[int, int]]:

@@ -72,6 +72,30 @@ class WeightedCSRGraph(CSRGraph):
         self.rev_weights.setflags(write=False)
 
     # ------------------------------------------------------------------
+    # buffer export / attach (zero-copy process sharing)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super().export_arrays()
+        arrays["weights"] = self.weights
+        if self.directed:
+            arrays["rev_weights"] = self.rev_weights
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], directed: bool = False
+    ) -> "WeightedCSRGraph":
+        return cls(
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["weights"],
+            directed=directed,
+            rev_indptr=arrays.get("rev_indptr"),
+            rev_indices=arrays.get("rev_indices"),
+            rev_weights=arrays.get("rev_weights"),
+        )
+
+    # ------------------------------------------------------------------
     def neighbor_weights(self, v: int) -> np.ndarray:
         """Lengths of the out-arcs of ``v`` (aligned with ``neighbors``)."""
         return self.weights[self.indptr[v] : self.indptr[v + 1]]

@@ -8,6 +8,7 @@ from .dijkstra import dijkstra_sigma, weighted_distances
 from .exact_gbc import exact_gbc, normalized_gbc
 from .pair_sampler import PairSample, PairSampler, shortest_path_dag
 from .sampler import PathSample, PathSampler
+from .wavefront import DEFAULT_COHORT, wavefront_search
 
 __all__ = [
     "bfs_distances",
@@ -25,4 +26,6 @@ __all__ = [
     "PairSampler",
     "shortest_path_dag",
     "PathSampler",
+    "DEFAULT_COHORT",
+    "wavefront_search",
 ]

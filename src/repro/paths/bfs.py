@@ -18,7 +18,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["bfs_distances", "bfs_sigma", "frontier_neighbors"]
+__all__ = ["bfs_distances", "bfs_sigma", "cohort_neighbors", "frontier_neighbors"]
 
 
 def frontier_neighbors(
@@ -40,6 +40,38 @@ def frontier_neighbors(
     heads = indices[offsets + shifts].astype(np.int64)
     tails = np.repeat(frontier, counts)
     return heads, tails
+
+
+def cohort_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    nodes: np.ndarray,
+    owners: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather all arcs leaving a stacked multi-query frontier.
+
+    ``nodes[i]`` is a frontier node belonging to query ``owners[i]``;
+    the input is the concatenation of many per-query frontiers.  Returns
+    ``(heads, tails, edge_owners)`` with one entry per incident arc:
+    ``heads[j]`` is a neighbor of frontier node ``tails[j]``, which
+    belongs to query ``edge_owners[j]``.
+
+    The arc order — input position, then CSR position — is what makes
+    the wavefront kernel's sigma accumulation bit-identical to running
+    :func:`frontier_neighbors` per query: each query's arcs form a
+    contiguous-in-order subsequence exactly matching its scalar gather.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    offsets = np.repeat(indptr[nodes], counts)
+    shifts = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    heads = indices[offsets + shifts].astype(np.int64)
+    tails = np.repeat(nodes, counts)
+    edge_owners = np.repeat(owners, counts)
+    return heads, tails, edge_owners
 
 
 def bfs_distances(

@@ -129,6 +129,12 @@ def bidirectional_search(
     if source == target:
         raise ParameterError("bidirectional search requires source != target")
     n = graph.n
+    if not (0 <= source < n and 0 <= target < n):
+        # constructor-validation convention: bad arguments surface as
+        # ParameterError, never as a raw numpy IndexError
+        raise ParameterError(
+            f"query node ids ({source}, {target}) outside [0, n={n})"
+        )
     forward = _Side(graph.indptr, graph.indices, n, source)
     backward = _Side(graph.rev_indptr, graph.rev_indices, n, target)
 

@@ -20,6 +20,7 @@ products leave every concrete path with probability ``1 / sigma_st``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,8 +30,9 @@ from ..exceptions import GraphError, ParameterError
 from ..graph.csr import CSRGraph
 from ._dispatch import is_weighted
 from .bfs import bfs_sigma
-from .bidirectional import bidirectional_search
+from .bidirectional import BidirectionalResult, bidirectional_search
 from .dijkstra import dijkstra_sigma
+from .wavefront import wavefront_search
 
 __all__ = ["PathSample", "PathSampler"]
 
@@ -74,15 +76,31 @@ class PathSampler:
         for cross-validation).  Integer-weighted graphs
         (:class:`~repro.graph.weighted.WeightedCSRGraph`) always use
         ``"dijkstra"``, which is selected automatically.
+    cache_sources:
+        Size of the LRU cache of completed forward-BFS trees keyed by
+        source node, used by :meth:`sample_batch` so repeated sources
+        across adaptive ``extend`` rounds skip re-traversal.  ``0``
+        (the default) disables caching, preserving the historical
+        per-sample work accounting exactly; cache-hit samples report
+        ``edges_explored == 0`` because no traversal was executed for
+        them.  Hit/miss totals are exposed as :attr:`cache_hits` /
+        :attr:`cache_misses`.
 
     Notes
     -----
-    The sampler is stateful only through its random generator, so one
-    instance can serve an entire adaptive algorithm run; successive
-    calls produce independent samples.
+    The sampler is stateful only through its random generator (and the
+    optional BFS-tree cache), so one instance can serve an entire
+    adaptive algorithm run; successive calls produce independent
+    samples.
     """
 
-    def __init__(self, graph: CSRGraph, seed=None, method: str = "bidirectional"):
+    def __init__(
+        self,
+        graph: CSRGraph,
+        seed=None,
+        method: str = "bidirectional",
+        cache_sources: int = 0,
+    ):
         if graph.n < 2:
             raise GraphError("sampling requires a graph with at least 2 nodes")
         if is_weighted(graph):
@@ -94,9 +112,17 @@ class PathSampler:
                 )
         elif method not in ("bidirectional", "forward"):
             raise ParameterError(f"unknown sampling method {method!r}")
+        if cache_sources < 0:
+            raise ParameterError(
+                f"cache_sources must be non-negative, got {cache_sources}"
+            )
         self.graph = graph
         self.method = method
         self._rng = as_generator(seed)
+        self.cache_sources = int(cache_sources)
+        self._tree_cache: OrderedDict[int, tuple] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.total_edges_explored = 0
         self.total_samples = 0
         self.total_traversals = 0
@@ -148,13 +174,15 @@ class PathSampler:
             by_source.setdefault(int(s), []).append(index)
 
         samples: list[PathSample | None] = [None] * count
+        traversals = 0
         for source, indices in by_source.items():
-            dist, sigma = bfs_sigma(self.graph, source)
+            dist, sigma, total_work, cached = self._forward_tree(source)
+            traversals += 0 if cached else 1
             # attribute the full BFS work exactly across this source's
             # samples: the first `remainder` samples carry one extra arc
             # so that the per-source total matches the serial accounting
-            total_work = int(self.graph.out_degrees()[dist >= 0].sum())
-            share, remainder = divmod(total_work, len(indices))
+            # (a cache hit executed no traversal, so its samples carry 0)
+            share, remainder = divmod(0 if cached else total_work, len(indices))
             for position, index in enumerate(indices):
                 explored = share + (1 if position < remainder else 0)
                 target = int(targets[index])
@@ -171,7 +199,65 @@ class PathSampler:
                     edges_explored=explored,
                 )
         self.total_samples += count
-        self.total_traversals += len(by_source)
+        self.total_traversals += traversals
+        self.total_edges_explored += sum(s.edges_explored for s in samples)
+        return samples
+
+    def sample_cohort(
+        self,
+        count: int,
+        kernel: str = "wavefront",
+        cohort_size: int | None = None,
+    ) -> list[PathSample]:
+        """Draw ``count`` samples through the pair-first cohort schedule.
+
+        Statistically identical to :meth:`sample_many`; the draw order
+        is restructured for batching: all ``count`` ordered pairs are
+        drawn i.i.d. up front, **all** bidirectional searches are
+        resolved next, and the uniform path walks run last, in sample
+        order.  With ``kernel="wavefront"`` the searches execute
+        through :func:`~repro.paths.wavefront.wavefront_search` (many
+        queries per numpy call); with ``kernel="scalar"`` each runs its
+        own :func:`~repro.paths.bidirectional.bidirectional_search`.
+        The two kernels consume the generator identically and yield
+        bit-identical samples — the cross-kernel determinism contract
+        the engines rely on.
+
+        Only the unweighted ``"bidirectional"`` method supports this
+        schedule; engines fall back to :meth:`sample_batch` otherwise.
+        """
+        if count < 0:
+            raise ParameterError("sample count must be non-negative")
+        if self.method != "bidirectional":
+            raise ParameterError(
+                "cohort sampling requires the 'bidirectional' method"
+            )
+        n = self.graph.n
+        rng = self._rng
+        sources = rng.integers(0, n, size=count)
+        targets = rng.integers(0, n - 1, size=count)
+        targets = np.where(targets >= sources, targets + 1, targets)
+
+        if kernel == "wavefront":
+            searched = wavefront_search(
+                self.graph, sources, targets, cohort_size=cohort_size
+            )
+        elif kernel == "scalar":
+            searched = [
+                bidirectional_search(self.graph, int(s), int(t))
+                for s, t in zip(sources, targets)
+            ]
+        else:
+            raise ParameterError(f"unknown traversal kernel {kernel!r}")
+
+        samples = []
+        for source, target, (result, explored) in zip(sources, targets, searched):
+            if result is None:
+                samples.append(self._null(int(source), int(target), explored))
+            else:
+                samples.append(self._assemble(result))
+        self.total_samples += count
+        self.total_traversals += count
         self.total_edges_explored += sum(s.edges_explored for s in samples)
         return samples
 
@@ -189,6 +275,24 @@ class PathSampler:
         return sample
 
     # ------------------------------------------------------------------
+    def _forward_tree(self, source: int) -> tuple[np.ndarray, np.ndarray, int, bool]:
+        """A full forward-BFS tree from ``source``, LRU-cached when
+        ``cache_sources > 0``; returns ``(dist, sigma, work, cached)``."""
+        if self.cache_sources:
+            entry = self._tree_cache.get(source)
+            if entry is not None:
+                self._tree_cache.move_to_end(source)
+                self.cache_hits += 1
+                return (*entry, True)
+            self.cache_misses += 1
+        dist, sigma = bfs_sigma(self.graph, source)
+        work = int(self.graph.out_degrees()[dist >= 0].sum())
+        if self.cache_sources:
+            self._tree_cache[source] = (dist, sigma, work)
+            if len(self._tree_cache) > self.cache_sources:
+                self._tree_cache.popitem(last=False)
+        return dist, sigma, work, False
+
     def _null(self, source: int, target: int, edges: int) -> PathSample:
         return PathSample(
             source=source,
@@ -205,14 +309,17 @@ class PathSampler:
             # unreachable: both searches exhausted their closure — that
             # work is real, so the ablation must see it
             return self._null(source, target, explored)
-        pivot = self._weighted_pick(result.cut_nodes, result.cut_weights)
+        return self._assemble(result)
 
+    def _assemble(self, result: BidirectionalResult) -> PathSample:
+        """Draw one uniform path from a completed bidirectional search."""
+        pivot = self._weighted_pick(result.cut_nodes, result.cut_weights)
         head = self._walk_up(pivot, result.dist_forward, result.sigma_forward)
         tail = self._walk_down(pivot, result.dist_backward, result.sigma_backward)
         nodes = np.asarray(head[::-1] + tail[1:], dtype=np.int64)
         return PathSample(
-            source=source,
-            target=target,
+            source=result.source,
+            target=result.target,
             nodes=nodes,
             distance=result.distance,
             sigma_st=result.sigma_st,

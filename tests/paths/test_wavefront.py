@@ -1,0 +1,185 @@
+"""Tests for the wavefront kernel (:mod:`repro.paths.wavefront`).
+
+The contract under test is *bit-identity*: for every query, the cohort
+kernel must reproduce the per-query
+:func:`~repro.paths.bidirectional.bidirectional_search` exactly —
+distances, path counts, separator cut, and the edges-explored work
+counter — under any cohort size.  Seeded property sweeps cover
+directed/undirected, fragmented, scale-free, and small-world
+topologies; edge cases cover degenerate cohorts and invalid queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import barabasi_albert, erdos_renyi, watts_strogatz
+from repro.paths import DEFAULT_COHORT, wavefront_search
+from repro.paths.bidirectional import bidirectional_search
+
+
+def _random_pairs(rng, n, count):
+    sources = rng.integers(0, n, size=count)
+    targets = rng.integers(0, n - 1, size=count)
+    return sources, np.where(targets >= sources, targets + 1, targets)
+
+
+def _assert_matches_scalar(graph, sources, targets, cohort_size):
+    batched = wavefront_search(graph, sources, targets, cohort_size=cohort_size)
+    assert len(batched) == len(sources)
+    for s, t, (result, edges) in zip(sources, targets, batched):
+        expected, expected_edges = bidirectional_search(graph, int(s), int(t))
+        assert edges == expected_edges
+        if expected is None:
+            assert result is None
+            continue
+        assert result is not None
+        assert result.source == expected.source
+        assert result.target == expected.target
+        assert result.distance == expected.distance
+        assert result.sigma_st == expected.sigma_st
+        assert result.cut_level == expected.cut_level
+        assert np.array_equal(result.cut_nodes, expected.cut_nodes)
+        assert np.array_equal(result.cut_weights, expected.cut_weights)
+        assert np.array_equal(result.dist_forward, expected.dist_forward)
+        assert np.array_equal(result.dist_backward, expected.dist_backward)
+        assert np.array_equal(result.sigma_forward, expected.sigma_forward)
+        assert np.array_equal(result.sigma_backward, expected.sigma_backward)
+        assert result.edges_explored == expected.edges_explored
+
+
+class TestBitIdentity:
+    """Seeded property sweeps: wavefront == scalar, query by query."""
+
+    def test_erdos_renyi_directed(self):
+        graph = erdos_renyi(60, 0.06, seed=101, directed=True)
+        rng = np.random.default_rng(7)
+        sources, targets = _random_pairs(rng, graph.n, 150)
+        _assert_matches_scalar(graph, sources, targets, cohort_size=8)
+
+    def test_erdos_renyi_fragmented_undirected(self):
+        # sparse enough to leave several components: exercises the
+        # unreachable path (None results with exact work accounting)
+        graph = erdos_renyi(80, 0.02, seed=5, directed=False)
+        rng = np.random.default_rng(11)
+        sources, targets = _random_pairs(rng, graph.n, 150)
+        _assert_matches_scalar(graph, sources, targets, cohort_size=16)
+
+    def test_barabasi_albert(self):
+        graph = barabasi_albert(120, 3, seed=3)
+        rng = np.random.default_rng(13)
+        sources, targets = _random_pairs(rng, graph.n, 200)
+        _assert_matches_scalar(graph, sources, targets, cohort_size=32)
+
+    def test_watts_strogatz(self):
+        graph = watts_strogatz(90, 6, 0.1, seed=17)
+        rng = np.random.default_rng(19)
+        sources, targets = _random_pairs(rng, graph.n, 150)
+        _assert_matches_scalar(graph, sources, targets, cohort_size=DEFAULT_COHORT)
+
+    def test_cohort_size_invariance(self):
+        """The cohort width is a throughput knob; results don't move."""
+        graph = barabasi_albert(70, 2, seed=23)
+        rng = np.random.default_rng(29)
+        sources, targets = _random_pairs(rng, graph.n, 60)
+        for cohort_size in (1, 3, 60, 200):
+            _assert_matches_scalar(graph, sources, targets, cohort_size)
+
+
+class TestCohortEdgeCases:
+    def test_single_query(self, grid3x3):
+        _assert_matches_scalar(
+            grid3x3, np.array([0]), np.array([8]), cohort_size=4
+        )
+
+    def test_all_unreachable_cohort(self, two_triangles):
+        # every query straddles the two components
+        sources = np.array([0, 1, 2, 0])
+        targets = np.array([3, 4, 5, 5])
+        results = wavefront_search(two_triangles, sources, targets)
+        assert len(results) == 4
+        for result, edges in results:
+            assert result is None
+            assert edges > 0  # proving unreachability is real work
+        _assert_matches_scalar(two_triangles, sources, targets, cohort_size=2)
+
+    def test_empty_query_set(self, grid3x3):
+        assert wavefront_search(
+            grid3x3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        ) == []
+
+    def test_source_equals_target_rejected(self, grid3x3):
+        with pytest.raises(ParameterError):
+            wavefront_search(grid3x3, np.array([0, 3]), np.array([5, 3]))
+
+    def test_out_of_range_ids_rejected(self, grid3x3):
+        with pytest.raises(ParameterError):
+            wavefront_search(grid3x3, np.array([0]), np.array([9]))
+        with pytest.raises(ParameterError):
+            wavefront_search(grid3x3, np.array([-1]), np.array([5]))
+
+    def test_mismatched_lengths_rejected(self, grid3x3):
+        with pytest.raises(ParameterError):
+            wavefront_search(grid3x3, np.array([0, 1]), np.array([5]))
+
+    def test_bad_cohort_size_rejected(self, grid3x3):
+        with pytest.raises(ParameterError):
+            wavefront_search(
+                grid3x3, np.array([0]), np.array([5]), cohort_size=0
+            )
+
+
+class TestScalarRangeValidation:
+    """Satellite: bad ids raise ParameterError, never IndexError."""
+
+    def test_bidirectional_search_out_of_range(self, grid3x3):
+        with pytest.raises(ParameterError):
+            bidirectional_search(grid3x3, 0, 9)
+        with pytest.raises(ParameterError):
+            bidirectional_search(grid3x3, -2, 5)
+
+    def test_bidirectional_sigma_out_of_range(self, grid3x3):
+        from repro.paths import bidirectional_sigma
+
+        with pytest.raises(ParameterError):
+            bidirectional_sigma(grid3x3, 42, 0)
+
+
+class TestSamplerCrossKernel:
+    def test_sample_cohort_kernels_identical(self):
+        """Both kernels consume the RNG identically, so the sampled
+        paths (not just the searches) are bit-identical."""
+        from repro.paths import PathSampler
+
+        graph = barabasi_albert(100, 2, seed=41)
+
+        def run(kernel, cohort_size=None):
+            sampler = PathSampler(graph, seed=77)
+            return sampler.sample_cohort(
+                150, kernel=kernel, cohort_size=cohort_size
+            )
+
+        reference = run("scalar")
+        for cohort_size in (None, 13):
+            samples = run("wavefront", cohort_size)
+            for a, b in zip(reference, samples):
+                assert a.source == b.source
+                assert a.target == b.target
+                assert np.array_equal(a.nodes, b.nodes)
+                assert a.sigma_st == b.sigma_st
+                assert a.edges_explored == b.edges_explored
+
+    def test_unknown_kernel_rejected(self, grid3x3):
+        from repro.paths import PathSampler
+
+        with pytest.raises(ParameterError):
+            PathSampler(grid3x3, seed=0).sample_cohort(5, kernel="turbo")
+
+    def test_cohort_requires_bidirectional(self, grid3x3):
+        from repro.paths import PathSampler
+
+        sampler = PathSampler(grid3x3, seed=0, method="forward")
+        with pytest.raises(ParameterError):
+            sampler.sample_cohort(5)
