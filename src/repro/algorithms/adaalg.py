@@ -34,6 +34,7 @@ from ..bounds.sample_size import adaalg_schedule
 from ..coverage import CoverageInstance, greedy_max_cover
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..obs import check_coverage
 from .base import GBCResult, SamplingAlgorithm
 
 __all__ = ["AdaAlg", "AdaAlgIteration"]
@@ -73,7 +74,10 @@ class AdaAlg(SamplingAlgorithm):
     max_samples:
         Optional safety cap on the size of *each* sample set; when hit,
         the run returns its current tentative group with
-        ``converged=False`` instead of sampling further.
+        ``converged=False`` instead of sampling further.  If the cap
+        preempts even the first scheduled iteration, the run still
+        spends the full ``max_samples`` budget once and returns the
+        exactly-``K`` greedy group it supports (never an empty group).
     validation_set:
         The paper's design keeps an independent sample set ``T`` for
         the unbiased estimate (default).  ``False`` is the ablation:
@@ -99,6 +103,8 @@ class AdaAlg(SamplingAlgorithm):
         cache_sources: int = 0,
         max_samples: int | None = None,
         validation_set: bool = True,
+        telemetry=None,
+        debug: bool = False,
     ):
         super().__init__(
             eps=eps,
@@ -110,6 +116,8 @@ class AdaAlg(SamplingAlgorithm):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            telemetry=telemetry,
+            debug=debug,
         )
         if not 0.0 < eps < _EULER:
             # stricter than the base class: the approximation target
@@ -139,56 +147,98 @@ class AdaAlg(SamplingAlgorithm):
         biased = 0.0
         unbiased = 0.0
         converged = False
+        capped = False
+        telemetry = self.telemetry
 
         try:
-            for q in range(1, q_max + 1):
-                guess = pairs / b**q
-                target = math.ceil(theta * b**q)
-                if self.max_samples is not None and target > self.max_samples:
-                    break
+            with telemetry.span("adaalg", k=k, n=n):
+                for q in range(1, q_max + 1):
+                    guess = pairs / b**q
+                    target = math.ceil(theta * b**q)
+                    if self.max_samples is not None and target > self.max_samples:
+                        capped = True
+                        if not group:
+                            # the cap preempted even the first iteration:
+                            # spend the whole budget once so the result
+                            # still satisfies |C| = K (converged stays
+                            # False — no guarantee was certified)
+                            group, biased, unbiased = self._capped_run(
+                                engine_s, engine_t, selection, validation,
+                                k, pairs,
+                            )
+                            telemetry.event(
+                                "capped",
+                                algorithm=self.name,
+                                q=q,
+                                target=target,
+                                max_samples=self.max_samples,
+                                samples=selection.num_paths
+                                + validation.num_paths,
+                            )
+                        break
 
-                # line 10: grow S, re-run greedy, biased estimate (Eq. 4)
-                engine_s.extend(selection, target)
-                cover = greedy_max_cover(selection, k)
-                group = cover.group
-                biased = cover.covered / selection.num_paths * pairs
+                    # line 10: grow S, re-run greedy, biased estimate (Eq. 4)
+                    with telemetry.span("sample", set="S", target=target):
+                        engine_s.extend(selection, target)
+                    with telemetry.span("greedy"):
+                        cover = greedy_max_cover(selection, k)
+                    group = cover.group
+                    biased = cover.covered / selection.num_paths * pairs
 
-                # line 11: grow T independently, unbiased estimate (Eq. 8)
-                if self.validation_set:
-                    engine_t.extend(validation, target)
-                    covered_t = validation.covered_count(group)
-                    unbiased = covered_t / validation.num_paths * pairs
-                else:
-                    unbiased = biased  # ablation: no independent T set
-
-                beta = eps1 = eps_sum = None
-                if unbiased >= guess:
-                    cnt += 1  # line 13
-                if cnt >= 2:
-                    # lines 17-27: error accounting and the stop test
-                    c1 = math.log(4.0 / self.gamma) / (theta * b ** (cnt - 2))
-                    eps1 = epsilon_one(c1)
-                    if biased > 0.0 and eps1 < 1.0:
-                        beta = 1.0 - unbiased / biased
-                        eps_sum = (
-                            beta * _EULER * (1.0 - eps1) + (2.0 - 1.0 / math.e) * eps1
+                    # line 11: grow T independently, unbiased estimate (Eq. 8)
+                    if self.validation_set:
+                        with telemetry.span("sample", set="T", target=target):
+                            engine_t.extend(validation, target)
+                        covered_t = (
+                            check_coverage(validation, group)
+                            if self.debug
+                            else validation.covered_count(group)
                         )
-                trace.append(
-                    AdaAlgIteration(
+                        unbiased = covered_t / validation.num_paths * pairs
+                    else:
+                        unbiased = biased  # ablation: no independent T set
+
+                    beta = eps1 = eps_sum = None
+                    if unbiased >= guess:
+                        cnt += 1  # line 13
+                    if cnt >= 2:
+                        # lines 17-27: error accounting and the stop test
+                        c1 = math.log(4.0 / self.gamma) / (theta * b ** (cnt - 2))
+                        eps1 = epsilon_one(c1)
+                        if biased > 0.0 and eps1 < 1.0:
+                            beta = 1.0 - unbiased / biased
+                            eps_sum = (
+                                beta * _EULER * (1.0 - eps1)
+                                + (2.0 - 1.0 / math.e) * eps1
+                            )
+                    trace.append(
+                        AdaAlgIteration(
+                            q=q,
+                            guess=guess,
+                            samples=selection.num_paths + validation.num_paths,
+                            biased=biased,
+                            unbiased=unbiased,
+                            cnt=cnt,
+                            beta=beta,
+                            eps1=eps1,
+                            eps_sum=eps_sum,
+                        )
+                    )
+                    telemetry.event(
+                        "iteration",
+                        algorithm=self.name,
                         q=q,
                         guess=guess,
                         samples=selection.num_paths + validation.num_paths,
                         biased=biased,
                         unbiased=unbiased,
                         cnt=cnt,
-                        beta=beta,
                         eps1=eps1,
                         eps_sum=eps_sum,
                     )
-                )
-                if eps_sum is not None and eps_sum <= self.eps:
-                    converged = True  # line 24
-                    break
+                    if eps_sum is not None and eps_sum <= self.eps:
+                        converged = True  # line 24
+                        break
         finally:
             self._close_all(engines)
 
@@ -206,7 +256,41 @@ class AdaAlg(SamplingAlgorithm):
                 "q_max": q_max,
                 "theta": theta,
                 "cnt": cnt,
+                "capped": capped,
                 "trace": trace,
                 **self._engine_diagnostics(engines),
             },
         )
+
+    def _capped_run(
+        self, engine_s, engine_t, selection, validation, k: int, pairs: int
+    ) -> tuple[list[int], float, float]:
+        """One greedy pass on ``max_samples`` paths when the schedule's
+        very first target already exceeds the cap.
+
+        Historically this path returned an *empty* group (violating the
+        ``|C| = K`` contract); instead, spend the allowed budget once
+        and return the exactly-``K`` greedy group it supports.
+        """
+        with self.telemetry.span("sample", set="S", target=self.max_samples):
+            engine_s.extend(selection, self.max_samples)
+        with self.telemetry.span("greedy"):
+            cover = greedy_max_cover(selection, k)
+        biased = (
+            cover.covered / selection.num_paths * pairs
+            if selection.num_paths
+            else 0.0
+        )
+        if self.validation_set:
+            with self.telemetry.span("sample", set="T", target=self.max_samples):
+                engine_t.extend(validation, self.max_samples)
+            unbiased = (
+                validation.covered_count(cover.group)
+                / validation.num_paths
+                * pairs
+                if validation.num_paths
+                else 0.0
+            )
+        else:
+            unbiased = biased
+        return cover.group, biased, unbiased

@@ -18,6 +18,7 @@ from .._rng import as_generator, spawn
 from ..engine import ENGINES, KERNELS, SampleEngine, coverage_nodes, create_engine
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..obs import as_telemetry
 from ..paths.sampler import PathSample
 
 __all__ = ["GBCResult", "GBCAlgorithm", "SamplingAlgorithm"]
@@ -121,6 +122,17 @@ class SamplingAlgorithm(GBCAlgorithm):
     cache_sources:
         Forward-BFS tree cache size forwarded to the engines (``0``
         disables caching).
+    telemetry:
+        An optional :class:`~repro.obs.Telemetry` hub the run reports
+        to: timed spans around sampling/greedy phases, per-iteration
+        events, and the engines' work counters.  When set, a snapshot
+        lands in ``GBCResult.diagnostics["telemetry"]``; the default
+        ``None`` keeps everything disabled at negligible cost.
+    debug:
+        Opt-in invariant mode (:mod:`repro.obs.invariants`): every
+        drawn path is re-verified to be a genuine shortest path and
+        the coverage bookkeeping is recounted per draw.  Expensive —
+        for debugging, not production runs.
     """
 
     def __init__(
@@ -134,6 +146,8 @@ class SamplingAlgorithm(GBCAlgorithm):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        telemetry=None,
+        debug: bool = False,
     ):
         if not 0.0 < eps < 1.0:
             raise ParameterError(f"eps must lie in (0, 1), got {eps}")
@@ -161,6 +175,8 @@ class SamplingAlgorithm(GBCAlgorithm):
         self.workers = workers
         self.kernel = kernel
         self.cache_sources = cache_sources
+        self.telemetry = as_telemetry(telemetry)
+        self.debug = debug
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -176,6 +192,8 @@ class SamplingAlgorithm(GBCAlgorithm):
                 workers=self.workers,
                 kernel=self.kernel,
                 cache_sources=self.cache_sources,
+                telemetry=self.telemetry,
+                debug=self.debug,
             )
             for child in spawn(self._rng, count)
         ]
@@ -196,7 +214,20 @@ class SamplingAlgorithm(GBCAlgorithm):
                 "kernel": getattr(engines[0], "kernel", None) if engines else None,
                 "stats": stats,
             },
+            **self._telemetry_diagnostics(),
         }
+
+    def _telemetry_diagnostics(self) -> dict:
+        """The ``telemetry`` diagnostics entry (empty when disabled).
+
+        The engines stream their :class:`~repro.engine.EngineStats`
+        deltas into the shared hub as ``engine.*`` counters on every
+        draw, so the snapshot taken here already carries the full work
+        breakdown alongside the spans and per-iteration events.
+        """
+        if not self.telemetry.enabled:
+            return {}
+        return {"telemetry": self.telemetry.snapshot()}
 
     @staticmethod
     def _close_all(engines: list[SampleEngine]) -> None:

@@ -53,6 +53,8 @@ class CentRa(Hedge):
         max_samples: int | None = None,
         empirical_stop: bool = False,
         era_draws: int = 8,
+        telemetry=None,
+        debug: bool = False,
     ):
         super().__init__(
             eps=eps,
@@ -66,6 +68,8 @@ class CentRa(Hedge):
             kernel=kernel,
             cache_sources=cache_sources,
             max_samples=max_samples,
+            telemetry=telemetry,
+            debug=debug,
         )
         self.empirical_stop = empirical_stop
         self.era_draws = era_draws
@@ -97,31 +101,63 @@ class CentRa(Hedge):
         iterations = 0
         converged = False
         stopped_by_era = False
+        telemetry = self.telemetry
 
         try:
-            for _, guess, mu in guess_schedule(n, base=self.guess_base):
-                target = self._sample_bound(n, k, gamma_each, mu)
-                if self.max_samples is not None and target > self.max_samples:
-                    break
-                iterations += 1
-                engine.extend(instance, target)
-                cover = greedy_max_cover(instance, k)
-                group = cover.group
-                estimate = cover.covered / instance.num_paths * pairs
+            with telemetry.span("centra", k=k, n=n, empirical=True):
+                for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                    target = self._sample_bound(n, k, gamma_each, mu)
+                    if self.max_samples is not None and target > self.max_samples:
+                        telemetry.event(
+                            "capped",
+                            algorithm=self.name,
+                            target=target,
+                            max_samples=self.max_samples,
+                            samples=instance.num_paths,
+                        )
+                        break
+                    iterations += 1
+                    with telemetry.span("sample", target=target):
+                        engine.extend(instance, target)
+                    with telemetry.span("greedy"):
+                        cover = greedy_max_cover(instance, k)
+                    group = cover.group
+                    estimate = cover.covered / instance.num_paths * pairs
 
-                if estimate >= guess:
-                    converged = True
-                    break
-                # empirical early stop: does the observed complexity already
-                # certify an (eps/2)-accurate estimate at this guess level?
-                era = monte_carlo_era(
-                    instance, k, num_draws=self.era_draws, seed=self._rng
-                )
-                deviation = era_deviation_bound(era, instance.num_paths, gamma_each)
-                if deviation * pairs <= 0.5 * self.eps * guess and estimate > 0.0:
-                    converged = True
-                    stopped_by_era = True
-                    break
+                    deviation = None
+                    if estimate >= guess:
+                        converged = True
+                    else:
+                        # empirical early stop: does the observed complexity
+                        # already certify an (eps/2)-accurate estimate at
+                        # this guess level?
+                        with telemetry.span("era"):
+                            era = monte_carlo_era(
+                                instance, k, num_draws=self.era_draws,
+                                seed=self._rng,
+                            )
+                            deviation = era_deviation_bound(
+                                era, instance.num_paths, gamma_each
+                            )
+                        if (
+                            deviation * pairs <= 0.5 * self.eps * guess
+                            and estimate > 0.0
+                        ):
+                            converged = True
+                            stopped_by_era = True
+                    telemetry.event(
+                        "iteration",
+                        algorithm=self.name,
+                        q=iterations,
+                        guess=guess,
+                        target=target,
+                        samples=instance.num_paths,
+                        estimate=estimate,
+                        era_deviation=deviation,
+                        converged=converged,
+                    )
+                    if converged:
+                        break
         finally:
             self._close_all(engines)
 

@@ -48,6 +48,8 @@ class Exhaust(Hedge):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         max_samples: int | None = None,
+        telemetry=None,
+        debug: bool = False,
     ):
         super().__init__(
             eps=eps,
@@ -60,6 +62,8 @@ class Exhaust(Hedge):
             kernel=kernel,
             cache_sources=cache_sources,
             max_samples=max_samples,
+            telemetry=telemetry,
+            debug=debug,
         )
         self.num_samples = num_samples
 
@@ -68,15 +72,27 @@ class Exhaust(Hedge):
             return super().run(graph, k)
         self._validate(graph, k)
         start = self._timer()
+        telemetry = self.telemetry
 
         (engine,) = engines = self._make_engines(graph, 1)
         instance = CoverageInstance(graph.n)
         try:
-            engine.extend(instance, self.num_samples)
+            with telemetry.span("exhaust", k=k, n=graph.n):
+                with telemetry.span("sample", target=self.num_samples):
+                    engine.extend(instance, self.num_samples)
+                with telemetry.span("greedy"):
+                    cover = greedy_max_cover(instance, k)
         finally:
             self._close_all(engines)
-        cover = greedy_max_cover(instance, k)
         estimate = cover.covered / instance.num_paths * graph.num_ordered_pairs
+        telemetry.event(
+            "iteration",
+            algorithm=self.name,
+            q=1,
+            samples=instance.num_paths,
+            estimate=estimate,
+            converged=True,
+        )
 
         return GBCResult(
             algorithm=self.name,

@@ -57,6 +57,8 @@ class Hedge(SamplingAlgorithm):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         max_samples: int | None = None,
+        telemetry=None,
+        debug: bool = False,
     ):
         super().__init__(
             eps=eps,
@@ -68,6 +70,8 @@ class Hedge(SamplingAlgorithm):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            telemetry=telemetry,
+            debug=debug,
         )
         if guess_base <= 1.0:
             raise ParameterError(f"guess_base must exceed 1, got {guess_base}")
@@ -97,21 +101,43 @@ class Hedge(SamplingAlgorithm):
         iterations = 0
         converged = False
         capped = False
+        telemetry = self.telemetry
 
         try:
-            for _, guess, mu in guess_schedule(n, base=self.guess_base):
-                target = self._sample_bound(n, k, gamma_each, mu)
-                if self.max_samples is not None and target > self.max_samples:
-                    capped = True
-                    break
-                iterations += 1
-                engine.extend(instance, target)
-                cover = greedy_max_cover(instance, k)
-                group = cover.group
-                estimate = cover.covered / instance.num_paths * pairs
-                if estimate >= guess:
-                    converged = True
-                    break
+            with telemetry.span(self.name.lower(), k=k, n=n):
+                for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                    target = self._sample_bound(n, k, gamma_each, mu)
+                    if self.max_samples is not None and target > self.max_samples:
+                        capped = True
+                        telemetry.event(
+                            "capped",
+                            algorithm=self.name,
+                            target=target,
+                            max_samples=self.max_samples,
+                            samples=instance.num_paths,
+                        )
+                        break
+                    iterations += 1
+                    with telemetry.span("sample", target=target):
+                        engine.extend(instance, target)
+                    with telemetry.span("greedy"):
+                        cover = greedy_max_cover(instance, k)
+                    group = cover.group
+                    estimate = cover.covered / instance.num_paths * pairs
+                    if estimate >= guess:
+                        converged = True
+                    telemetry.event(
+                        "iteration",
+                        algorithm=self.name,
+                        q=iterations,
+                        guess=guess,
+                        target=target,
+                        samples=instance.num_paths,
+                        estimate=estimate,
+                        converged=converged,
+                    )
+                    if converged:
+                        break
         finally:
             self._close_all(engines)
 

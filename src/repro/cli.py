@@ -64,6 +64,7 @@ from .experiments import (
 )
 from .experiments.report import format_table
 from .graph import giant_component, read_edge_list, read_weighted_edge_list
+from .obs import CallbackSink, JsonlSink, Telemetry
 from .paths import exact_gbc
 
 __all__ = ["main", "build_parser"]
@@ -143,6 +144,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="LRU-cache up to N forward-BFS trees in the sampler "
             "(default 0 = off)",
         )
+        parser_.add_argument(
+            "--log-json",
+            metavar="PATH",
+            default=None,
+            help="write run telemetry (spans, per-iteration events, "
+            "counters) as JSON lines to PATH",
+        )
+        parser_.add_argument(
+            "--debug-invariants",
+            action="store_true",
+            help="validate every sampled path and the coverage "
+            "bookkeeping while running (slow; for debugging)",
+        )
+        parser_.add_argument(
+            "--progress",
+            action="store_true",
+            help="print per-iteration progress lines to stderr",
+        )
 
     run = sub.add_parser("run", help="run one algorithm on one graph")
     add_graph_source(run)
@@ -186,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--output", default=None, help="also write rows to a .csv or .json file"
     )
+    experiment.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect in-memory run telemetry for every algorithm run "
+        "(recorded in the result metadata)",
+    )
 
     sub.add_parser("datasets", help="list the Table I dataset registry")
     return parser
@@ -200,12 +225,16 @@ def _make_algorithm(
     workers: int | None = None,
     kernel: str = "wavefront",
     cache_sources: int = 0,
+    telemetry=None,
+    debug: bool = False,
 ):
     sampling = {
         "engine": engine,
         "workers": workers,
         "kernel": kernel,
         "cache_sources": cache_sources,
+        "telemetry": telemetry,
+        "debug": debug,
     }
     factories = {
         "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed, **sampling),
@@ -217,6 +246,42 @@ def _make_algorithm(
         "brute": lambda: BruteForce(),
     }
     return factories[name]()
+
+
+def _progress_line(record: dict) -> str | None:
+    """A human-readable stderr line for an ``iteration`` event."""
+    if record.get("kind") != "event" or record.get("name") != "iteration":
+        return None
+    parts = [record.get("algorithm", "?")]
+    for key in ("q", "guess", "samples", "estimate", "unbiased", "cnt"):
+        value = record.get(key)
+        if value is None:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.1f}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def _build_telemetry(args):
+    """A :class:`~repro.obs.Telemetry` hub for the CLI flags, or ``None``
+    when neither ``--log-json`` nor ``--progress`` was given (the
+    algorithms then run on the no-op hub)."""
+    sinks = []
+    if args.log_json:
+        sinks.append(JsonlSink(args.log_json))
+    if args.progress:
+
+        def emit(record):
+            line = _progress_line(record)
+            if line is not None:
+                print(line, file=sys.stderr)
+
+        sinks.append(CallbackSink(emit))
+    if not sinks and not args.debug_invariants:
+        return None
+    return Telemetry(sinks=sinks)
 
 
 def _load_graph(args):
@@ -233,6 +298,7 @@ def _load_graph(args):
 
 def _cmd_run(args) -> int:
     graph = _load_graph(args)
+    telemetry = _build_telemetry(args)
     algorithm = _make_algorithm(
         args.algorithm,
         args.eps,
@@ -242,8 +308,14 @@ def _cmd_run(args) -> int:
         args.workers,
         args.kernel,
         args.cache_sources,
+        telemetry=telemetry,
+        debug=args.debug_invariants,
     )
-    result = algorithm.run(graph, args.k)
+    try:
+        result = algorithm.run(graph, args.k)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     pairs = graph.num_ordered_pairs
     print(f"algorithm   : {result.algorithm}")
     print(f"engine      : {args.engine}"
@@ -260,37 +332,46 @@ def _cmd_run(args) -> int:
     print(f"iterations  : {result.iterations}")
     print(f"converged   : {result.converged}")
     print(f"elapsed     : {result.elapsed_seconds:.2f}s")
+    if args.log_json:
+        print(f"telemetry   : {args.log_json}")
     return 0
 
 
 def _cmd_compare(args) -> int:
     graph = _load_graph(args)
     pairs = graph.num_ordered_pairs
+    telemetry = _build_telemetry(args)
     rows = []
-    for name in args.algorithms:
-        algorithm = _make_algorithm(
-            name,
-            args.eps,
-            args.gamma,
-            args.seed,
-            args.engine,
-            args.workers,
-            args.kernel,
-            args.cache_sources,
-        )
-        result = algorithm.run(graph, args.k)
-        quality = (
-            exact_gbc(graph, result.group) if args.exact else result.estimate
-        )
-        rows.append(
-            [
-                result.algorithm,
-                quality / pairs if pairs else 0.0,
-                result.num_samples,
-                round(result.elapsed_seconds, 2),
-                result.converged,
-            ]
-        )
+    try:
+        for name in args.algorithms:
+            algorithm = _make_algorithm(
+                name,
+                args.eps,
+                args.gamma,
+                args.seed,
+                args.engine,
+                args.workers,
+                args.kernel,
+                args.cache_sources,
+                telemetry=telemetry,
+                debug=args.debug_invariants,
+            )
+            result = algorithm.run(graph, args.k)
+            quality = (
+                exact_gbc(graph, result.group) if args.exact else result.estimate
+            )
+            rows.append(
+                [
+                    result.algorithm,
+                    quality / pairs if pairs else 0.0,
+                    result.num_samples,
+                    round(result.elapsed_seconds, 2),
+                    result.converged,
+                ]
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     metric = "exact norm GBC" if args.exact else "estimated norm GBC"
     print(f"graph: n={graph.n} m={graph.num_edges}; "
           f"K={args.k} eps={args.eps} gamma={args.gamma}")
@@ -304,6 +385,8 @@ def _cmd_experiment(args) -> int:
     config = _PRESETS[args.preset]
     if args.seed is not None:
         config = config.with_overrides(seed=args.seed)
+    if args.telemetry:
+        config = config.with_overrides(telemetry=True)
     result = _EXPERIMENTS[args.name](config)
     print(result.render())
     if args.output:

@@ -79,7 +79,11 @@ def greedy_max_cover(
         (-int(degrees[node]), int(node)) for node in np.flatnonzero(degrees > 0)
     ]
     heapq.heapify(heap)
-    fresh_for_round = {}  # node -> round when its gain was last computed
+    # node -> round when its gain was last computed.  The initial degree
+    # entries are exact for round 0, so they are seeded as fresh — the
+    # first pop of the run is accepted without a redundant re-evaluation
+    # (gains only shrink, so the top exact entry is optimal as-is).
+    fresh_for_round = {node: 0 for _neg_gain, node in heap}
 
     round_no = 0
     while heap and len(chosen) < k:

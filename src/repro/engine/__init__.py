@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..obs import as_telemetry
 from .base import (
     KERNELS,
     EngineStats,
@@ -70,6 +71,8 @@ def create_engine(
     workers: int | None = None,
     kernel: str = "wavefront",
     cache_sources: int = 0,
+    telemetry=None,
+    debug: bool = False,
 ) -> SampleEngine:
     """Instantiate the engine registered under ``name``.
 
@@ -77,6 +80,9 @@ def create_engine(
     the batch/process engines; passing them with other engines is
     accepted (and ignored) so callers can thread a single set of knobs
     through unconditionally.  ``cache_sources`` applies everywhere.
+    ``telemetry`` attaches a :class:`~repro.obs.Telemetry` hub the
+    engine reports draws to, and ``debug`` turns on the per-draw
+    invariant validators (:mod:`repro.obs.invariants`).
     """
     try:
         cls = ENGINES[name]
@@ -94,4 +100,7 @@ def create_engine(
         kwargs["kernel"] = kernel
     if cls is ProcessPoolEngine:
         kwargs["workers"] = workers
-    return cls(graph, **kwargs)
+    engine = cls(graph, **kwargs)
+    engine.telemetry = as_telemetry(telemetry)
+    engine.debug = bool(debug)
+    return engine

@@ -36,6 +36,7 @@ from .._rng import as_generator
 from ..coverage.hypergraph import CoverageInstance
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..obs import NULL_TELEMETRY, check_instance, check_sample
 from ..paths._dispatch import is_weighted
 from ..paths.sampler import PathSample
 
@@ -176,6 +177,19 @@ class SampleEngine(abc.ABC):
         Size of the forward-BFS tree cache forwarded to the engine's
         :class:`~repro.paths.sampler.PathSampler` instances (``0``
         disables caching, the default).
+
+    Attributes
+    ----------
+    telemetry:
+        The :class:`~repro.obs.Telemetry` hub :meth:`extend` reports
+        to (spans around ``draw``, :class:`EngineStats` deltas as
+        ``engine.*`` counters).  Defaults to the shared disabled hub;
+        assign a live one (or pass ``telemetry=`` to
+        :func:`~repro.engine.create_engine`) to collect.
+    debug:
+        When ``True``, :meth:`extend` validates every drawn sample
+        against the graph and the coverage bookkeeping against a
+        recount (:mod:`repro.obs.invariants`) — slow, opt-in.
     """
 
     #: Registry name, set by subclasses ("serial", "batch", "process").
@@ -199,6 +213,8 @@ class SampleEngine(abc.ABC):
         self.cache_sources = int(cache_sources)
         self._rng = as_generator(seed)
         self.stats = EngineStats()
+        self.telemetry = NULL_TELEMETRY
+        self.debug = False
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -209,13 +225,30 @@ class SampleEngine(abc.ABC):
         """Grow ``instance`` to hold ``upto`` samples.
 
         Applies the engine's endpoint convention to every drawn path;
-        a no-op when the instance already holds enough samples.
+        a no-op when the instance already holds enough samples.  The
+        draw is reported to :attr:`telemetry` (a ``draw`` span plus
+        ``engine.*`` counter deltas), and :attr:`debug` mode validates
+        the samples and the instance bookkeeping.
         """
         missing = upto - instance.num_paths
         if missing <= 0:
             return
-        for sample in self.draw(missing):
+        telemetry = self.telemetry
+        stats = self.stats
+        before = (stats.samples, stats.traversals, stats.edges_explored)
+        with telemetry.span("draw", engine=self.name, count=missing):
+            samples = self.draw(missing)
+        telemetry.count("engine.samples", stats.samples - before[0])
+        telemetry.count("engine.draw_calls", 1)
+        telemetry.count("engine.traversals", stats.traversals - before[1])
+        telemetry.count("engine.edges_explored", stats.edges_explored - before[2])
+        if self.debug:
+            for sample in samples:
+                check_sample(self.graph, sample)
+        for sample in samples:
             instance.add_path(coverage_nodes(sample, self.include_endpoints))
+        if self.debug:
+            check_instance(instance)
 
     def close(self) -> None:
         """Release engine resources (worker processes); idempotent."""

@@ -32,10 +32,10 @@ reporting ``workers=0``.
 from __future__ import annotations
 
 import os
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, wait
 
 from .._rng import spawn_seeds
-from ..exceptions import ParameterError
+from ..exceptions import EngineError, ParameterError
 from ..graph.csr import CSRGraph
 from ..graph.weighted import WeightedCSRGraph
 from ..paths.sampler import PathSample, PathSampler
@@ -250,24 +250,41 @@ class ProcessPoolEngine(SampleEngine):
 
         results = []
         if pool is not None:
+            futures: list[Future] = []
+            index = 0
             try:
-                futures: list[Future] = [
+                futures = [
                     pool.submit(_draw_chunk, seed, size)
                     for seed, size in zip(seeds, sizes)
                 ]
-                results = [future.result() for future in futures]
+                results = []
+                for index, future in enumerate(futures):
+                    results.append(future.result())
             except BrokenExecutor:
                 # a worker died: tear everything down (the pool AND the
                 # shared segments it was attached to) before falling back
                 self._pool_broken = True
                 self.close()
                 results = []
+            except Exception as exc:
+                # a chunk body raised inside a healthy worker: cancel what
+                # has not started, wait out what has (no orphaned in-flight
+                # work), account the failed call, and surface the chunk —
+                # the pool itself is fine, so later draws keep using it
+                for pending in futures:
+                    pending.cancel()
+                wait(futures)
+                self.stats.draw_calls += 1
+                raise EngineError(
+                    f"worker chunk {index + 1}/{len(sizes)} "
+                    f"(size={sizes[index]}, seed={seeds[index]}) failed: {exc}"
+                ) from exc
         if not results:
             # in-process fallback: identical chunk schedule and seeds
-            results = [
-                (
-                    os.getpid(),
-                    *_chunk_samples(
+            results = []
+            for index, (seed, size) in enumerate(zip(seeds, sizes)):
+                try:
+                    chunk = _chunk_samples(
                         self.graph,
                         self.method,
                         self.kernel,
@@ -275,10 +292,14 @@ class ProcessPoolEngine(SampleEngine):
                         self.cache_sources,
                         seed,
                         size,
-                    ),
-                )
-                for seed, size in zip(seeds, sizes)
-            ]
+                    )
+                except Exception as exc:
+                    self.stats.draw_calls += 1
+                    raise EngineError(
+                        f"chunk {index + 1}/{len(sizes)} "
+                        f"(size={size}, seed={seed}) failed: {exc}"
+                    ) from exc
+                results.append((os.getpid(), *chunk))
 
         samples: list[PathSample] = []
         for pid, chunk, traversals, edges, hits, misses in results:

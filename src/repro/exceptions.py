@@ -26,5 +26,16 @@ class AlgorithmError(ReproError):
     """An algorithm could not complete (e.g. iteration budget exhausted)."""
 
 
+class EngineError(ReproError):
+    """An execution engine failed to serve a draw (e.g. a worker chunk
+    raised); the engine itself remains usable afterwards."""
+
+
+class InvariantViolation(ReproError):
+    """A ``debug=True`` invariant check found inconsistent state (a
+    sampled path that is not a shortest path, or coverage bookkeeping
+    that does not match a recount)."""
+
+
 class DatasetError(ReproError):
     """A named dataset is unknown or could not be materialized."""

@@ -42,6 +42,7 @@ def engine_meta(config: ExperimentConfig) -> dict:
         "engine": config.engine,
         "workers": config.workers,
         "kernel": config.kernel,
+        "telemetry": config.telemetry,
     }
 
 

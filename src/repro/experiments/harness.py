@@ -33,6 +33,7 @@ from ..datasets import load
 from ..engine import create_engine
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
+from ..obs import Telemetry
 from ..paths.exact_gbc import exact_gbc
 
 __all__ = [
@@ -90,6 +91,12 @@ class ExperimentConfig:
     kernel:
         Traversal kernel for the batch/process engines
         (:data:`repro.engine.KERNELS`).
+    telemetry:
+        When true, every sampling algorithm gets its own in-memory
+        :class:`repro.obs.Telemetry` hub, so per-run span timings,
+        engine counters, and per-iteration events land in
+        ``GBCResult.diagnostics["telemetry"]`` (and the fact is
+        recorded in each figure's provenance metadata).
     seed:
         Master seed; every cell derives its own stream from it.
     """
@@ -108,6 +115,7 @@ class ExperimentConfig:
     engine: str = "serial"
     workers: int | None = None
     kernel: str = "wavefront"
+    telemetry: bool = False
     seed: int = 20250704
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -176,11 +184,17 @@ FULL = ExperimentConfig(
 
 
 def build_sampling_algorithm(name: str, eps: float, config: ExperimentConfig, seed):
-    """Construct one of the paper's sampling algorithms from a config."""
+    """Construct one of the paper's sampling algorithms from a config.
+
+    With ``config.telemetry`` set, each algorithm gets a private
+    in-memory :class:`repro.obs.Telemetry` hub, so its run records
+    land in ``GBCResult.diagnostics["telemetry"]``.
+    """
     sampling = {
         "engine": config.engine,
         "workers": config.workers,
         "kernel": config.kernel,
+        "telemetry": Telemetry() if config.telemetry else None,
     }
     if name == "HEDGE":
         return Hedge(

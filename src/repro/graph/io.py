@@ -2,14 +2,25 @@
 
 The paper's datasets are distributed as SNAP edge lists: one ``u v``
 pair per line, ``#``-prefixed comment lines, arbitrary (sparse) node
-ids.  :func:`read_edge_list` parses that format (optionally gzipped),
-relabels nodes densely, and returns both the graph and the id mapping;
-:func:`write_edge_list` emits the same format so round-trips are exact.
+ids.  :func:`read_edge_list` parses that format (optionally gzipped)
+and returns both the graph and the id mapping;
+:func:`write_edge_list` emits the same format, prefixed with a
+``# nodes=N ...`` header line.
+
+Round-trip caveats: files with *sparse* ids are relabeled densely (the
+returned ``original_ids`` records the mapping), and an edge list alone
+cannot mention isolated nodes.  The readers therefore honor the
+``# nodes=N`` header the writers emit — when the file's ids already
+lie in ``[0, N)``, the node count (and with it every isolated node) is
+restored exactly, making ``write_edge_list`` → :func:`read_edge_list`
+round-trips lossless.  Files whose ids fall outside ``[0, N)`` keep
+the dense relabeling and the header only serves as documentation.
 """
 
 from __future__ import annotations
 
 import gzip
+import re
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +37,23 @@ __all__ = [
     "write_weighted_edge_list",
 ]
 
+#: The ``nodes=N`` token of the header line the writers emit.
+_NODES_HEADER = re.compile(r"\bnodes=(\d+)\b")
+
+
+def _header_node_count(line: str, current: int | None) -> int | None:
+    """The node count declared by a comment line (first match wins)."""
+    if current is not None:
+        return current
+    match = _NODES_HEADER.search(line)
+    return int(match.group(1)) if match else None
+
+
+def _ids_are_dense(ids: np.ndarray, n: int) -> bool:
+    """Whether every referenced id already lies in ``[0, n)`` — the
+    condition under which a ``nodes=n`` header can be honored exactly."""
+    return ids.size == 0 or (int(ids[0]) >= 0 and int(ids[-1]) < n)
+
 
 def read_edge_list(
     path, directed: bool = False, comments: str = "#"
@@ -34,15 +62,23 @@ def read_edge_list(
 
     Returns ``(graph, original_ids)`` where ``original_ids[i]`` is the
     label the file used for the node the graph calls ``i``.  Files
-    ending in ``.gz`` are decompressed transparently.
+    ending in ``.gz`` are decompressed transparently.  A ``# nodes=N``
+    header (as written by :func:`write_edge_list`) restores the exact
+    node count — including isolated nodes — whenever the file's ids
+    already lie in ``[0, N)``; otherwise ids are relabeled densely and
+    only referenced nodes survive.
     """
     path = Path(path)
     opener = gzip.open if path.suffix == ".gz" else open
     pairs = []
+    header_nodes: int | None = None
     with opener(path, "rt") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if not line or line.startswith(comments):
+            if not line:
+                continue
+            if line.startswith(comments):
+                header_nodes = _header_node_count(line, header_nodes)
                 continue
             parts = line.split()
             if len(parts) < 2:
@@ -53,11 +89,18 @@ def read_edge_list(
                 raise GraphError(f"{path}:{lineno}: non-integer node id") from exc
 
     if not pairs:
-        return from_edges(np.empty((0, 2)), n=0, directed=directed), np.empty(
-            0, dtype=np.int64
+        n = header_nodes or 0
+        return from_edges(np.empty((0, 2)), n=n, directed=directed), np.arange(
+            n, dtype=np.int64
         )
     arr = np.asarray(pairs, dtype=np.int64)
     original_ids, dense = np.unique(arr, return_inverse=True)
+    if header_nodes is not None and header_nodes >= original_ids.size:
+        if _ids_are_dense(original_ids, header_nodes):
+            # header-declared count with in-range ids: keep the file's
+            # own labels so isolated nodes come back at their positions
+            graph = from_edges(arr, n=header_nodes, directed=directed)
+            return graph, np.arange(header_nodes, dtype=np.int64)
     dense = dense.reshape(arr.shape)
     graph = from_edges(dense, n=original_ids.size, directed=directed)
     return graph, original_ids
@@ -74,10 +117,14 @@ def read_weighted_edge_list(
     path = Path(path)
     opener = gzip.open if path.suffix == ".gz" else open
     triples = []
+    header_nodes: int | None = None
     with opener(path, "rt") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if not line or line.startswith(comments):
+            if not line:
+                continue
+            if line.startswith(comments):
+                header_nodes = _header_node_count(line, header_nodes)
                 continue
             parts = line.split()
             if len(parts) < 3:
@@ -88,12 +135,17 @@ def read_weighted_edge_list(
                 raise GraphError(f"{path}:{lineno}: non-integer field") from exc
 
     if not triples:
+        n = header_nodes or 0
         return (
-            from_weighted_edges(np.empty((0, 3)), n=0, directed=directed),
-            np.empty(0, dtype=np.int64),
+            from_weighted_edges(np.empty((0, 3)), n=n, directed=directed),
+            np.arange(n, dtype=np.int64),
         )
     arr = np.asarray(triples, dtype=np.int64)
     original_ids, dense = np.unique(arr[:, :2], return_inverse=True)
+    if header_nodes is not None and header_nodes >= original_ids.size:
+        if _ids_are_dense(original_ids, header_nodes):
+            graph = from_weighted_edges(arr, n=header_nodes, directed=directed)
+            return graph, np.arange(header_nodes, dtype=np.int64)
     dense = dense.reshape(-1, 2)
     relabeled = np.column_stack([dense, arr[:, 2]])
     graph = from_weighted_edges(relabeled, n=original_ids.size, directed=directed)

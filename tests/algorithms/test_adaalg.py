@@ -79,10 +79,28 @@ class TestMechanics:
         assert a.num_samples == b.num_samples
 
     def test_max_samples_cap(self):
+        """A cap that preempts the very first iteration still yields a
+        full K-node group from a max_samples-sized sample set (the old
+        behavior returned an empty group and zero samples)."""
         g = erdos_renyi(60, 0.1, seed=15)
         result = AdaAlg(eps=0.3, seed=16, max_samples=10).run(g, 5)
         assert not result.converged
-        assert result.num_samples == 0
+        assert result.diagnostics["capped"]
+        assert len(result.group) == 5
+        assert len(set(result.group)) == 5
+        # S and T each spent the full budget once
+        assert result.num_samples == 20
+        assert result.estimate >= 0.0
+        assert result.estimate_unbiased is not None
+
+    def test_max_samples_cap_without_validation_set(self):
+        g = erdos_renyi(60, 0.1, seed=15)
+        result = AdaAlg(
+            eps=0.3, seed=16, max_samples=10, validation_set=False
+        ).run(g, 5)
+        assert not result.converged
+        assert len(result.group) == 5
+        assert result.num_samples == 10
 
     def test_smaller_eps_needs_more_samples(self):
         g = erdos_renyi(80, 0.08, seed=17)

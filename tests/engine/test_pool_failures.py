@@ -1,0 +1,88 @@
+"""Worker-chunk failure semantics of the process engine.
+
+A chunk body that raises inside a *healthy* worker must not poison the
+engine: the draw fails with :class:`~repro.exceptions.EngineError`
+carrying the chunk's position/size/seed, outstanding futures are
+cancelled, the failed call is still accounted in ``draw_calls``, and
+subsequent draws keep working on the same pool.  (A *dead* worker —
+``BrokenExecutor`` — still triggers the separate teardown-and-fallback
+path, unchanged.)
+
+Injection works by monkeypatching :func:`repro.engine.pool._chunk_samples`
+before the pool starts: the executor launches lazily on the first draw
+and the default ``fork`` start method copies the patched module state
+into the workers.  The failure is keyed on the chunk *size*, so the
+same patched pool serves both failing and healthy draws.
+"""
+
+import pytest
+
+from repro.coverage import CoverageInstance
+from repro.engine import ProcessPoolEngine, create_engine
+from repro.engine import pool as pool_module
+from repro.exceptions import EngineError
+
+#: Chunk size that the patched chunk body refuses to serve.
+POISON_SIZE = 7
+
+_real_chunk_samples = pool_module._chunk_samples
+
+
+def _poisoned_chunk_samples(graph, method, kernel, cohort, cache, seed, count):
+    if count == POISON_SIZE:
+        raise ValueError(f"injected failure for chunk size {count}")
+    return _real_chunk_samples(graph, method, kernel, cohort, cache, seed, count)
+
+
+@pytest.fixture
+def poisoned(monkeypatch):
+    monkeypatch.setattr(pool_module, "_chunk_samples", _poisoned_chunk_samples)
+
+
+class TestInProcessFallback:
+    def test_failing_chunk_raises_engine_error(self, grid3x3, poisoned):
+        with ProcessPoolEngine(grid3x3, seed=31, workers=0) as engine:
+            with pytest.raises(EngineError, match=r"chunk 1/1 \(size=7"):
+                engine.draw(POISON_SIZE)
+
+    def test_engine_usable_after_failure(self, grid3x3, poisoned):
+        with ProcessPoolEngine(grid3x3, seed=31, workers=0) as engine:
+            with pytest.raises(EngineError):
+                engine.draw(POISON_SIZE)
+            samples = engine.draw(5)
+            assert len(samples) == 5
+            # both the failed and the successful call are accounted
+            assert engine.stats.draw_calls == 2
+            assert engine.stats.samples == 5
+
+    def test_extend_surfaces_the_error(self, grid3x3, poisoned):
+        engine = create_engine("process", grid3x3, seed=32, workers=0)
+        with engine:
+            instance = CoverageInstance(grid3x3.n)
+            with pytest.raises(EngineError):
+                engine.extend(instance, POISON_SIZE)
+            assert instance.num_paths == 0
+
+
+class TestPoolWorkers:
+    def test_failing_chunk_raises_and_pool_survives(self, grid3x3, poisoned):
+        with ProcessPoolEngine(
+            grid3x3, seed=33, workers=2, chunk_size=64
+        ) as engine:
+            # healthy draw first: starts the (patched) pool
+            assert len(engine.draw(10)) == 10
+            with pytest.raises(EngineError, match="size=7"):
+                engine.draw(POISON_SIZE)
+            # the pool was not torn down or restarted by the failure
+            assert len(engine.draw(10)) == 10
+            assert engine.stats.pool_startups == 1
+            assert engine.stats.draw_calls == 3
+            assert engine.stats.samples == 20
+
+    def test_error_names_the_failing_chunk(self, grid3x3, poisoned):
+        with ProcessPoolEngine(
+            grid3x3, seed=34, workers=2, chunk_size=POISON_SIZE
+        ) as engine:
+            # 3 chunks of 7: the first failure is reported with position
+            with pytest.raises(EngineError, match=r"chunk \d/3 \(size=7"):
+                engine.draw(3 * POISON_SIZE)

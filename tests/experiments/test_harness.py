@@ -48,6 +48,29 @@ class TestBuildAlgorithm:
             assert algo.name == name
             assert algo.eps == 0.3
 
+    def test_telemetry_off_by_default(self):
+        algo = build_sampling_algorithm("AdaAlg", 0.3, SMOKE, seed=0)
+        assert not algo.telemetry.enabled
+
+    def test_telemetry_config_attaches_hub(self):
+        cfg = SMOKE.with_overrides(telemetry=True)
+        algo = build_sampling_algorithm("AdaAlg", 0.3, cfg, seed=0)
+        assert algo.telemetry.enabled
+
+    def test_telemetry_lands_in_diagnostics(self):
+        cfg = SMOKE.with_overrides(telemetry=True)
+        g = erdos_renyi(40, 0.15, seed=9)
+        algo = build_sampling_algorithm("AdaAlg", 0.4, cfg, seed=10)
+        result = algo.run(g, 3)
+        snap = result.diagnostics["telemetry"]
+        assert snap["counters"]["engine.samples"] == result.num_samples
+
+    def test_each_algorithm_gets_its_own_hub(self):
+        cfg = SMOKE.with_overrides(telemetry=True)
+        a = build_sampling_algorithm("AdaAlg", 0.3, cfg, seed=0)
+        b = build_sampling_algorithm("HEDGE", 0.3, cfg, seed=0)
+        assert a.telemetry is not b.telemetry
+
     def test_unknown_name(self):
         with pytest.raises(ParameterError):
             build_sampling_algorithm("EXHAUST", 0.3, SMOKE, seed=0)

@@ -4,9 +4,12 @@ import gzip
 
 import pytest
 
+import numpy as np
+
 from repro.exceptions import GraphError
 from repro.graph import (
     barabasi_albert,
+    from_edges,
     from_weighted_edges,
     path_graph,
     read_edge_list,
@@ -102,6 +105,83 @@ class TestWriteEdgeList:
         assert "# hello" in text
         assert "# world" in text
         assert "nodes=3" in text
+
+
+class TestNodesHeader:
+    """The ``# nodes=N`` header restores isolated nodes on round-trips."""
+
+    def test_round_trip_preserves_isolated_nodes(self, tmp_path):
+        # nodes 3..5 are isolated: an edge list alone would drop them
+        g = from_edges(np.array([[0, 1], [1, 2]]), n=6)
+        f = tmp_path / "iso.txt"
+        write_edge_list(g, f)
+        back, ids = read_edge_list(f)
+        assert back == g
+        assert back.n == 6
+        assert list(ids) == [0, 1, 2, 3, 4, 5]
+
+    def test_round_trip_isolated_node_zero(self, tmp_path):
+        # the isolated node sits *below* the referenced ids
+        g = from_edges(np.array([[1, 2]]), n=3)
+        f = tmp_path / "iso0.txt"
+        write_edge_list(g, f)
+        back, _ = read_edge_list(f)
+        assert back == g
+
+    def test_weighted_round_trip_preserves_isolated_nodes(self, tmp_path):
+        g = from_weighted_edges([(0, 1, 3), (1, 2, 7)], n=5)
+        f = tmp_path / "wiso.txt"
+        write_weighted_edge_list(g, f)
+        back, ids = read_weighted_edge_list(f)
+        assert back == g
+        assert back.n == 5
+        assert list(ids) == [0, 1, 2, 3, 4]
+
+    def test_edgeless_graph_round_trips(self, tmp_path):
+        g = from_edges(np.empty((0, 2)), n=4)
+        f = tmp_path / "empty.txt"
+        write_edge_list(g, f)
+        back, ids = read_edge_list(f)
+        assert back == g
+        assert back.n == 4
+        assert list(ids) == [0, 1, 2, 3]
+
+    def test_header_ignored_for_sparse_ids(self, tmp_path):
+        # ids outside [0, N): the header cannot be honored — fall back
+        # to dense relabeling exactly as before
+        f = tmp_path / "sparse.txt"
+        f.write_text("# nodes=3 edges=2 type=undirected\n10 300\n300 9999\n")
+        graph, ids = read_edge_list(f)
+        assert graph.n == 3
+        assert list(ids) == [10, 300, 9999]
+
+    def test_header_with_extra_unreferenced_capacity(self, tmp_path):
+        f = tmp_path / "cap.txt"
+        f.write_text("# nodes=10 edges=1 type=undirected\n0 1\n")
+        graph, ids = read_edge_list(f)
+        assert graph.n == 10
+        assert list(ids) == list(range(10))
+
+    def test_snap_style_header_not_mistaken(self, tmp_path):
+        # real SNAP headers spell "# Nodes: 4" — no nodes=N token, so
+        # the reader must not misparse them
+        f = tmp_path / "snap.txt"
+        f.write_text("# Nodes: 4 Edges: 1\n0 1\n")
+        graph, _ = read_edge_list(f)
+        assert graph.n == 2
+
+    def test_first_header_wins(self, tmp_path):
+        f = tmp_path / "two.txt"
+        f.write_text("# nodes=5\n# nodes=99\n0 1\n")
+        graph, _ = read_edge_list(f)
+        assert graph.n == 5
+
+    def test_weighted_empty_file_with_header(self, tmp_path):
+        f = tmp_path / "wempty.txt"
+        f.write_text("# nodes=3 edges=0 type=undirected weighted\n")
+        graph, ids = read_weighted_edge_list(f)
+        assert graph.n == 3
+        assert list(ids) == [0, 1, 2]
 
 
 class TestWeightedIO:

@@ -1,0 +1,104 @@
+"""Telemetry flows through all four sampling algorithms.
+
+Every algorithm must (a) emit per-iteration events with its
+stopping-rule internals, (b) aggregate span timings under its own
+top-level span, and (c) land the collected snapshot in
+``GBCResult.diagnostics["telemetry"]``.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms import AdaAlg, CentRa, Exhaust, Hedge
+from repro.graph import erdos_renyi
+from repro.obs import REQUIRED_FIELDS, JsonlSink, MemorySink, Telemetry
+
+FACTORIES = {
+    "AdaAlg": lambda tel: AdaAlg(eps=0.4, seed=51, telemetry=tel),
+    "HEDGE": lambda tel: Hedge(eps=0.5, seed=52, max_samples=20_000, telemetry=tel),
+    "CentRa": lambda tel: CentRa(eps=0.5, seed=53, max_samples=20_000, telemetry=tel),
+    "EXHAUST": lambda tel: Exhaust(num_samples=2_000, seed=54, telemetry=tel),
+}
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(50, 0.12, seed=50)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_telemetry_reaches_diagnostics(graph, name):
+    tel = Telemetry()
+    result = FACTORIES[name](tel).run(graph, 3)
+    snap = result.diagnostics["telemetry"]
+    assert set(snap) == {"counters", "spans", "events"}
+    assert snap["counters"]["engine.samples"] == result.num_samples
+    assert snap["counters"]["engine.draw_calls"] >= 1
+    iterations = [e for e in snap["events"] if e["name"] == "iteration"]
+    assert len(iterations) == result.iterations
+    for event in iterations:
+        assert event["algorithm"] == result.algorithm
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_top_level_span_matches_algorithm(graph, name):
+    tel = Telemetry()
+    FACTORIES[name](tel).run(graph, 3)
+    top = {path for path in tel.spans if "/" not in path}
+    assert top == {name.lower()}
+    assert any(path.endswith("/sample") for path in tel.spans)
+    assert any(path.endswith("/greedy") for path in tel.spans)
+
+
+def test_adaalg_iteration_events_carry_stop_rule_fields(graph):
+    tel = Telemetry()
+    result = AdaAlg(eps=0.4, seed=55, telemetry=tel).run(graph, 3)
+    iterations = [e for e in tel.events if e["name"] == "iteration"]
+    assert iterations, "no iteration events recorded"
+    for event in iterations:
+        for field in ("q", "guess", "samples", "biased", "unbiased", "cnt"):
+            assert field in event, f"{field!r} missing from {event}"
+    assert [e["q"] for e in iterations] == list(range(1, result.iterations + 1))
+    if result.converged:
+        final = iterations[-1]
+        assert final["cnt"] >= 2
+        assert final["eps_sum"] is not None
+
+
+def test_capped_adaalg_emits_capped_event(graph):
+    tel = Telemetry()
+    result = AdaAlg(eps=0.3, seed=56, max_samples=10, telemetry=tel).run(graph, 3)
+    assert not result.converged
+    capped = [e for e in tel.events if e["name"] == "capped"]
+    assert len(capped) == 1
+    assert capped[0]["max_samples"] == 10
+
+
+def test_algorithm_jsonl_is_schema_valid(graph, tmp_path):
+    path = tmp_path / "run.jsonl"
+    tel = Telemetry(sinks=[JsonlSink(path)])
+    AdaAlg(eps=0.4, seed=57, telemetry=tel).run(graph, 3)
+    tel.close()
+    lines = path.read_text().strip().splitlines()
+    assert lines
+    kinds = set()
+    for line in lines:
+        record = json.loads(line)
+        for field in REQUIRED_FIELDS:
+            assert field in record
+        kinds.add(record["kind"])
+    assert {"span", "event", "counter"} <= kinds
+
+
+def test_shared_hub_separates_algorithms_by_event_field(graph):
+    sink = MemorySink()
+    tel = Telemetry(sinks=[sink])
+    Hedge(eps=0.5, seed=58, max_samples=20_000, telemetry=tel).run(graph, 3)
+    AdaAlg(eps=0.4, seed=59, telemetry=tel).run(graph, 3)
+    names = {
+        e["algorithm"]
+        for e in tel.events
+        if e["name"] == "iteration"
+    }
+    assert names == {"HEDGE", "AdaAlg"}

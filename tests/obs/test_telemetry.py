@@ -1,0 +1,185 @@
+"""Unit tests for the telemetry hub, its sinks, and the JSONL schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    REQUIRED_FIELDS,
+    CallbackSink,
+    JsonlSink,
+    MemorySink,
+    NullTelemetry,
+    Telemetry,
+    as_telemetry,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_span_paths_nest(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            assert tel.span_path == "outer"
+            with tel.span("inner"):
+                assert tel.span_path == "outer/inner"
+            assert tel.span_path == "outer"
+        assert tel.span_path == ""
+        assert set(tel.spans) == {"outer", "outer/inner"}
+
+    def test_span_durations_aggregate(self):
+        tel = Telemetry(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with tel.span("work"):
+                pass
+        agg = tel.spans["work"]
+        assert agg["count"] == 3
+        assert agg["seconds"] > 0.0
+
+    def test_span_pops_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("broken"):
+                raise ValueError("boom")
+        assert tel.span_path == ""
+        assert tel.spans["broken"]["count"] == 1
+
+    def test_span_attrs_reach_sinks(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("sample", target=500):
+            pass
+        (record,) = sink.records
+        assert record["kind"] == "span"
+        assert record["target"] == 500
+
+
+class TestCountersAndEvents:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("engine.samples", 10)
+        tel.count("engine.samples", 5)
+        tel.count("engine.draw_calls")
+        assert tel.counters == {"engine.samples": 15, "engine.draw_calls": 1}
+
+    def test_counters_flushed_on_close(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.count("engine.samples", 7)
+        assert sink.records == []  # silent until close
+        tel.close()
+        (record,) = sink.records
+        assert record["kind"] == "counter"
+        assert record["name"] == "engine.samples"
+        assert record["value"] == 7
+
+    def test_events_recorded_in_order(self):
+        tel = Telemetry()
+        tel.event("iteration", q=1)
+        tel.event("iteration", q=2)
+        assert [e["q"] for e in tel.events] == [1, 2]
+
+    def test_event_carries_span_path(self):
+        tel = Telemetry()
+        with tel.span("run"):
+            record = tel.event("iteration", q=1)
+        assert record["span"] == "run"
+
+    def test_numpy_scalars_coerced(self):
+        np = pytest.importorskip("numpy")
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.event("iteration", samples=np.int64(5), estimate=np.float64(0.5))
+        tel.close()
+        for record in sink.records:
+            json.dumps(record)  # must not raise
+
+    def test_snapshot_shape(self):
+        tel = Telemetry()
+        with tel.span("run"):
+            tel.event("iteration", q=1)
+        tel.count("x", 2)
+        snap = tel.snapshot()
+        assert set(snap) == {"counters", "spans", "events"}
+        assert snap["counters"] == {"x": 2}
+        assert snap["spans"]["run"]["count"] == 1
+        assert len(snap["events"]) == 1
+
+    def test_ops_counts_instrumentation_calls(self):
+        tel = Telemetry()
+        with tel.span("a"):
+            tel.event("e")
+        tel.count("c")
+        assert tel.ops == 3
+
+
+class TestJsonlSink:
+    def test_every_line_parses_and_carries_schema(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        with tel.span("run", k=5):
+            tel.event("iteration", q=1, estimate=1.5)
+            with tel.span("greedy"):
+                pass
+        tel.count("engine.samples", 100)
+        tel.close()
+
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 4  # 2 spans + 1 event + 1 counter
+        kinds = set()
+        for line in lines:
+            record = json.loads(line)
+            for field in REQUIRED_FIELDS:
+                assert field in record, f"{field!r} missing from {record}"
+            kinds.add(record["kind"])
+        assert kinds == {"span", "event", "counter"}
+
+    def test_close_is_idempotent(self, tmp_path):
+        tel = Telemetry(sinks=[JsonlSink(tmp_path / "x.jsonl")])
+        tel.count("a", 1)
+        tel.close()
+        tel.close()  # second close must not re-emit or raise
+        lines = (tmp_path / "x.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 1
+
+
+class TestCallbackSink:
+    def test_callback_invoked_per_record(self):
+        seen = []
+        tel = Telemetry(sinks=[CallbackSink(seen.append)])
+        tel.event("iteration", q=1)
+        assert len(seen) == 1
+        assert seen[0]["name"] == "iteration"
+
+
+class TestNullTelemetry:
+    def test_null_operations_are_noops(self):
+        null = NullTelemetry()
+        with null.span("anything", k=5) as inner:
+            assert inner is None
+        assert null.event("e", x=1) is None
+        null.count("c", 10)
+        assert null.snapshot() == {}
+        null.close()
+        assert not null.enabled
+
+    def test_null_span_is_shared(self):
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+
+    def test_as_telemetry_normalizes(self):
+        assert as_telemetry(None) is NULL_TELEMETRY
+        tel = Telemetry()
+        assert as_telemetry(tel) is tel

@@ -1,8 +1,18 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import REQUIRED_FIELDS
+
+
+def _star_edge_list(tmp_path, leaves=20):
+    edge_file = tmp_path / "g.txt"
+    lines = [f"0 {i}" for i in range(1, leaves)]
+    edge_file.write_text("\n".join(lines) + "\n")
+    return edge_file
 
 
 class TestParser:
@@ -139,6 +149,94 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "AdaAlg" in out
         assert "YoshidaSketch" in out
+
+    def test_run_with_log_json_and_invariants(self, tmp_path, capsys):
+        edge_file = _star_edge_list(tmp_path)
+        log_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run",
+                "--edge-list",
+                str(edge_file),
+                "-k",
+                "2",
+                "--eps",
+                "0.5",
+                "--seed",
+                "3",
+                "--log-json",
+                str(log_path),
+                "--debug-invariants",
+            ]
+        )
+        assert code == 0
+        assert str(log_path) in capsys.readouterr().out
+        lines = log_path.read_text().strip().splitlines()
+        assert lines, "telemetry log is empty"
+        kinds = set()
+        for line in lines:
+            record = json.loads(line)
+            for field in REQUIRED_FIELDS:
+                assert field in record, f"{field!r} missing from {record}"
+            kinds.add(record["kind"])
+        assert {"span", "event", "counter"} <= kinds
+
+    def test_run_progress_lines_on_stderr(self, tmp_path, capsys):
+        edge_file = _star_edge_list(tmp_path)
+        code = main(
+            [
+                "run",
+                "--edge-list",
+                str(edge_file),
+                "-k",
+                "2",
+                "--eps",
+                "0.5",
+                "--seed",
+                "3",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "AdaAlg" in err
+        assert "q=1" in err
+
+    def test_compare_with_log_json(self, tmp_path, capsys):
+        edge_file = _star_edge_list(tmp_path)
+        log_path = tmp_path / "cmp.jsonl"
+        code = main(
+            [
+                "compare",
+                "--edge-list",
+                str(edge_file),
+                "-k",
+                "2",
+                "--eps",
+                "0.5",
+                "--algorithms",
+                "adaalg",
+                "hedge",
+                "--log-json",
+                str(log_path),
+            ]
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().strip().splitlines()
+            if json.loads(line)["kind"] == "event"
+        ]
+        algorithms = {
+            e["algorithm"] for e in events if e.get("name") == "iteration"
+        }
+        assert algorithms == {"AdaAlg", "HEDGE"}
+
+    def test_experiment_telemetry_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig4", "--telemetry"]
+        )
+        assert args.telemetry
 
     def test_run_weighted_edge_list(self, tmp_path, capsys):
         edge_file = tmp_path / "w.txt"
