@@ -1,0 +1,52 @@
+"""Warm-start benchmark: sample cost of an eps sweep, cold vs warm.
+
+The sampling law is independent of ``eps`` and ``K``, so one
+:class:`~repro.experiments.SessionBank` pool can serve every cell of
+an eps sweep: each tighter cell reuses the pool its looser
+predecessors drew and only pays the increment.  This benchmark runs
+:func:`run_eps_sweep` on the
+preset's first dataset and asserts the warm pass draws strictly fewer
+samples than the cold pass — the refactor's headline saving.
+
+Results land in ``benchmarks/results/bench_warmstart.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments import run_eps_sweep
+
+#: preset -> eps grid (swept loosest-first, so the pool grows monotonically)
+_EPS = {
+    "smoke": (0.3, 0.4, 0.5),
+    "bench": (0.2, 0.25, 0.3, 0.4, 0.5),
+    "reduced": (0.15, 0.2, 0.25, 0.3, 0.4, 0.5),
+    "full": (0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5),
+}
+
+
+def _run_warmstart(config, preset_name):
+    sweep_config = config.with_overrides(
+        datasets=config.datasets[:1], eps_values=_EPS[preset_name]
+    )
+    sweep = run_eps_sweep(sweep_config, k=min(sweep_config.ks))
+    # rename so the artifact lands as bench_warmstart.json
+    return replace(
+        sweep, name="Bench: warmstart", meta={**sweep.meta, "preset": preset_name}
+    )
+
+
+def test_warmstart_saves_samples(benchmark, config, preset_name, strict_shapes):
+    result = run_once(benchmark, _run_warmstart, config, preset_name)
+    meta = result.meta
+    assert result.rows, "sweep produced no cells"
+    assert meta["samples_warm"] < meta["samples_cold"]
+    for _, _, _, cold, warm in result.rows:
+        assert warm <= cold
+    # only the first (loosest) cell pays full price; every tighter cell
+    # pays the increment over the pool, so the aggregate saving is large
+    if strict_shapes:
+        assert meta["saving_fraction"] >= 0.3, meta["saving_fraction"]

@@ -16,7 +16,17 @@ Quickstart
 10
 """
 
-from . import bounds, coverage, datasets, engine, experiments, graph, nodebc, paths
+from . import (
+    bounds,
+    coverage,
+    datasets,
+    engine,
+    experiments,
+    graph,
+    nodebc,
+    paths,
+    session,
+)
 from .algorithms import (
     AdaAlg,
     BruteForce,
@@ -29,10 +39,12 @@ from .algorithms import (
 )
 from .exceptions import (
     AlgorithmError,
+    CheckpointError,
     DatasetError,
     GraphError,
     ParameterError,
     ReproError,
+    SessionInterrupted,
 )
 from .engine import (
     BatchEngine,
@@ -43,6 +55,7 @@ from .engine import (
 )
 from .graph import CSRGraph, WeightedCSRGraph, from_edges, from_weighted_edges
 from .paths import PathSampler, betweenness_centrality, exact_gbc, normalized_gbc
+from .session import SampleStore, SamplingSession
 
 __version__ = "1.0.0"
 
@@ -69,11 +82,15 @@ __all__ = [
     "betweenness_centrality",
     "exact_gbc",
     "normalized_gbc",
+    "SampleStore",
+    "SamplingSession",
     "ReproError",
     "GraphError",
     "ParameterError",
     "AlgorithmError",
     "DatasetError",
+    "CheckpointError",
+    "SessionInterrupted",
     "graph",
     "paths",
     "engine",
@@ -82,4 +99,5 @@ __all__ = [
     "datasets",
     "experiments",
     "nodebc",
+    "session",
 ]

@@ -27,11 +27,11 @@ least ``1 - gamma`` (Lemma 6 / Theorem 1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..bounds.martingale import epsilon_one
 from ..bounds.sample_size import adaalg_schedule
-from ..coverage import CoverageInstance, greedy_max_cover
+from ..coverage import greedy_max_cover
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from ..obs import check_coverage
@@ -105,6 +105,11 @@ class AdaAlg(SamplingAlgorithm):
         validation_set: bool = True,
         telemetry=None,
         debug: bool = False,
+        session=None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+        stop_after_checkpoints: int | None = None,
     ):
         super().__init__(
             eps=eps,
@@ -118,6 +123,11 @@ class AdaAlg(SamplingAlgorithm):
             cache_sources=cache_sources,
             telemetry=telemetry,
             debug=debug,
+            session=session,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            stop_after_checkpoints=stop_after_checkpoints,
         )
         if not 0.0 < eps < _EULER:
             # stricter than the base class: the approximation target
@@ -127,19 +137,27 @@ class AdaAlg(SamplingAlgorithm):
         self.max_samples = max_samples
         self.validation_set = validation_set
 
+    def _checkpoint_params(self) -> dict:
+        return {
+            **super()._checkpoint_params(),
+            "b_min": self.b_min,
+            "max_samples": self.max_samples,
+            "validation_set": self.validation_set,
+        }
+
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, k: int) -> GBCResult:
         """Execute Algorithm 1 on ``graph`` for group size ``k``."""
         self._validate(graph, k)
         start = self._timer()
+        self._begin_run()
 
         n = graph.n
         pairs = graph.num_ordered_pairs
         b, q_max, theta = adaalg_schedule(n, self.eps, self.gamma, b_min=self.b_min)
-        engines = self._make_engines(graph, 2)
-        engine_s, engine_t = engines
-        selection = CoverageInstance(n)
-        validation = CoverageInstance(n)
+        session, state, owns = self._open_session(graph, k, 2)
+        selection = session.store(0)  # S — selection set
+        validation = session.store(1)  # T — independent validation set
 
         cnt = 0
         trace: list[AdaAlgIteration] = []
@@ -148,11 +166,21 @@ class AdaAlg(SamplingAlgorithm):
         unbiased = 0.0
         converged = False
         capped = False
+        start_q = 1
+        if state is not None:
+            # continue the outer loop exactly where the checkpoint froze it
+            loop = state["loop"]
+            start_q = int(loop["q"]) + 1
+            cnt = int(loop["cnt"])
+            group = [int(v) for v in loop["group"]]
+            biased = float(loop["biased"])
+            unbiased = float(loop["unbiased"])
+            trace = [AdaAlgIteration(**entry) for entry in loop["trace"]]
         telemetry = self.telemetry
 
         try:
             with telemetry.span("adaalg", k=k, n=n):
-                for q in range(1, q_max + 1):
+                for q in range(start_q, q_max + 1):
                     guess = pairs / b**q
                     target = math.ceil(theta * b**q)
                     if self.max_samples is not None and target > self.max_samples:
@@ -163,8 +191,7 @@ class AdaAlg(SamplingAlgorithm):
                             # still satisfies |C| = K (converged stays
                             # False — no guarantee was certified)
                             group, biased, unbiased = self._capped_run(
-                                engine_s, engine_t, selection, validation,
-                                k, pairs,
+                                session, k, pairs
                             )
                             telemetry.event(
                                 "capped",
@@ -179,7 +206,7 @@ class AdaAlg(SamplingAlgorithm):
 
                     # line 10: grow S, re-run greedy, biased estimate (Eq. 4)
                     with telemetry.span("sample", set="S", target=target):
-                        engine_s.extend(selection, target)
+                        session.extend(target, lane=0)
                     with telemetry.span("greedy"):
                         cover = greedy_max_cover(selection, k)
                     group = cover.group
@@ -188,7 +215,7 @@ class AdaAlg(SamplingAlgorithm):
                     # line 11: grow T independently, unbiased estimate (Eq. 8)
                     if self.validation_set:
                         with telemetry.span("sample", set="T", target=target):
-                            engine_t.extend(validation, target)
+                            session.extend(target, lane=1)
                         covered_t = (
                             check_coverage(validation, group)
                             if self.debug
@@ -239,8 +266,23 @@ class AdaAlg(SamplingAlgorithm):
                     if eps_sum is not None and eps_sum <= self.eps:
                         converged = True  # line 24
                         break
+                    # iteration boundary: the sample stream is untouched
+                    # here, so checkpoints never perturb the run
+                    self._checkpoint(
+                        session,
+                        k,
+                        {
+                            "q": q,
+                            "cnt": cnt,
+                            "group": [int(v) for v in group],
+                            "biased": float(biased),
+                            "unbiased": float(unbiased),
+                            "trace": [asdict(entry) for entry in trace],
+                        },
+                    )
         finally:
-            self._close_all(engines)
+            if owns:
+                session.close()
 
         return GBCResult(
             algorithm=self.name,
@@ -258,13 +300,11 @@ class AdaAlg(SamplingAlgorithm):
                 "cnt": cnt,
                 "capped": capped,
                 "trace": trace,
-                **self._engine_diagnostics(engines),
+                **self._session_diagnostics(session, owns),
             },
         )
 
-    def _capped_run(
-        self, engine_s, engine_t, selection, validation, k: int, pairs: int
-    ) -> tuple[list[int], float, float]:
+    def _capped_run(self, session, k: int, pairs: int) -> tuple[list[int], float, float]:
         """One greedy pass on ``max_samples`` paths when the schedule's
         very first target already exceeds the cap.
 
@@ -272,8 +312,10 @@ class AdaAlg(SamplingAlgorithm):
         ``|C| = K`` contract); instead, spend the allowed budget once
         and return the exactly-``K`` greedy group it supports.
         """
+        selection = session.store(0)
+        validation = session.store(1)
         with self.telemetry.span("sample", set="S", target=self.max_samples):
-            engine_s.extend(selection, self.max_samples)
+            session.extend(self.max_samples, lane=0)
         with self.telemetry.span("greedy"):
             cover = greedy_max_cover(selection, k)
         biased = (
@@ -283,7 +325,7 @@ class AdaAlg(SamplingAlgorithm):
         )
         if self.validation_set:
             with self.telemetry.span("sample", set="T", target=self.max_samples):
-                engine_t.extend(validation, self.max_samples)
+                session.extend(self.max_samples, lane=1)
             unbiased = (
                 validation.covered_count(cover.group)
                 / validation.num_paths

@@ -16,10 +16,11 @@ import numpy as np
 
 from .._rng import as_generator, spawn
 from ..engine import ENGINES, KERNELS, SampleEngine, coverage_nodes, create_engine
-from ..exceptions import ParameterError
+from ..exceptions import CheckpointError, ParameterError, SessionInterrupted
 from ..graph.csr import CSRGraph
 from ..obs import as_telemetry
 from ..paths.sampler import PathSample
+from ..session import SamplingSession
 
 __all__ = ["GBCResult", "GBCAlgorithm", "SamplingAlgorithm"]
 
@@ -99,11 +100,15 @@ class GBCAlgorithm(abc.ABC):
 class SamplingAlgorithm(GBCAlgorithm):
     """Shared plumbing for the path-sampling algorithms.
 
-    All path drawing goes through the :mod:`repro.engine` substrate:
-    the algorithm asks for samples, the configured engine decides how
-    the traversals execute (serial, amortized batches, or a worker
-    pool).  This class handles engine construction with independent
-    child RNG streams, endpoint-convention slicing, and timing.
+    All sample acquisition goes through a
+    :class:`~repro.session.SamplingSession`: the algorithm is a
+    *stopping-rule policy* that decides how far to extend the session's
+    sample stores and when the accumulated evidence suffices, while the
+    session owns the engines, the growing stores, and their
+    persistence.  This class handles session construction with
+    independent child RNG streams (bit-identical to the historical
+    direct-engine plumbing for a fixed seed), checkpoint cadence,
+    resume, endpoint-convention slicing, and timing.
 
     Parameters
     ----------
@@ -133,6 +138,32 @@ class SamplingAlgorithm(GBCAlgorithm):
         drawn path is re-verified to be a genuine shortest path and
         the coverage bookkeeping is recounted per draw.  Expensive —
         for debugging, not production runs.
+    session:
+        An externally owned :class:`~repro.session.SamplingSession` to
+        draw through instead of creating one — the warm-start seam the
+        experiments harness uses to reuse one growing sample pool
+        across sweep cells.  The session must target the same graph
+        ``run`` receives and provide at least as many lanes as the
+        algorithm needs; it is *not* closed by the run.  Mutually
+        exclusive with ``resume_from``.
+    checkpoint_path:
+        When set, the run freezes its session (stores + RNG states)
+        and loop state to this path at iteration boundaries, ready for
+        :meth:`~repro.session.SamplingSession.resume` /
+        ``resume_from``.  Checkpoints never alter the sample stream —
+        a run with checkpointing on is bit-identical to one without.
+    checkpoint_every:
+        Outer-loop iterations between checkpoints (default 1).
+    resume_from:
+        Path of a checkpoint written by an earlier run of the *same*
+        algorithm/K on the *same* graph; the run continues from the
+        recorded iteration and its final result is bit-identical to an
+        uninterrupted run's.
+    stop_after_checkpoints:
+        Deliberately interrupt the run by raising
+        :class:`~repro.exceptions.SessionInterrupted` once this many
+        checkpoints have been written (fault-injection hook for tests
+        and the CI resume exercise).  Requires ``checkpoint_path``.
     """
 
     def __init__(
@@ -148,6 +179,11 @@ class SamplingAlgorithm(GBCAlgorithm):
         cache_sources: int = 0,
         telemetry=None,
         debug: bool = False,
+        session: SamplingSession | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+        stop_after_checkpoints: int | None = None,
     ):
         if not 0.0 < eps < 1.0:
             raise ParameterError(f"eps must lie in (0, 1), got {eps}")
@@ -167,6 +203,25 @@ class SamplingAlgorithm(GBCAlgorithm):
             raise ParameterError(
                 f"cache_sources must be non-negative, got {cache_sources}"
             )
+        if checkpoint_every < 1:
+            raise ParameterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if stop_after_checkpoints is not None:
+            if checkpoint_path is None:
+                raise ParameterError(
+                    "stop_after_checkpoints requires checkpoint_path"
+                )
+            if stop_after_checkpoints < 1:
+                raise ParameterError(
+                    "stop_after_checkpoints must be >= 1, got "
+                    f"{stop_after_checkpoints}"
+                )
+        if session is not None and resume_from is not None:
+            raise ParameterError(
+                "session and resume_from are mutually exclusive: an external "
+                "session is live state, a checkpoint is frozen state"
+            )
         self.eps = eps
         self.gamma = gamma
         self.include_endpoints = include_endpoints
@@ -177,7 +232,156 @@ class SamplingAlgorithm(GBCAlgorithm):
         self.cache_sources = cache_sources
         self.telemetry = as_telemetry(telemetry)
         self.debug = debug
+        self.session = session
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.resume_from = resume_from
+        self.stop_after_checkpoints = stop_after_checkpoints
+        #: Free-form provenance the CLI folds into checkpoints (graph
+        #: source, dataset name, ...); round-tripped via ``state["meta"]``.
+        self.checkpoint_meta: dict = {}
         self._rng = as_generator(seed)
+        self._samples_reused = 0
+        self._iters_since_ckpt = 0
+        self._checkpoints_this_run = 0
+
+    # ------------------------------------------------------------------
+    # Session plumbing — shared by every concrete run() implementation.
+    def _open_session(
+        self, graph: CSRGraph, k: int, lanes: int
+    ) -> tuple[SamplingSession, dict | None, bool]:
+        """The session this run draws through.
+
+        Returns ``(session, state, owns)``: ``state`` is the loop
+        payload of a resumed checkpoint (``None`` for fresh runs) and
+        ``owns`` says whether the run must close the session when done
+        (externally attached sessions stay open for their owner).
+        """
+        if self.session is not None:
+            sess = self.session
+            if sess.graph is not graph:
+                raise ParameterError(
+                    "the attached session was built for a different graph "
+                    "object; sessions and runs must target the same graph"
+                )
+            if sess.lanes < lanes:
+                raise ParameterError(
+                    f"{self.name} needs {lanes} session lane(s), the "
+                    f"attached session has {sess.lanes}"
+                )
+            self._samples_reused = sess.total_samples
+            return sess, None, False
+        if self.resume_from is not None:
+            sess, state = SamplingSession.resume(
+                self.resume_from,
+                graph,
+                telemetry=self.telemetry,
+                debug=self.debug,
+            )
+            if state is None or state.get("algorithm") != self.name:
+                found = None if state is None else state.get("algorithm")
+                sess.close()
+                raise CheckpointError(
+                    f"checkpoint {self.resume_from!r} belongs to algorithm "
+                    f"{found!r}, cannot resume it with {self.name}"
+                )
+            if state.get("k") != k:
+                sess.close()
+                raise CheckpointError(
+                    f"checkpoint {self.resume_from!r} was taken for "
+                    f"K={state.get('k')}, cannot resume with K={k}"
+                )
+            self._rng.bit_generator.state = state["algorithm_rng"]
+            self.checkpoint_meta = dict(state.get("meta") or {})
+            self._samples_reused = sess.total_samples
+            return sess, state, True
+        sess = SamplingSession(
+            graph,
+            lanes=lanes,
+            seed=self._rng,
+            engine=self.engine,
+            method=self.sampler_method,
+            include_endpoints=self.include_endpoints,
+            workers=self.workers,
+            kernel=self.kernel,
+            cache_sources=self.cache_sources,
+            telemetry=self.telemetry,
+            debug=self.debug,
+        )
+        self._samples_reused = 0
+        return sess, None, True
+
+    def _begin_run(self) -> None:
+        """Reset per-run checkpoint cadence state."""
+        self._iters_since_ckpt = 0
+        self._checkpoints_this_run = 0
+
+    def _checkpoint_params(self) -> dict:
+        """The parameter block frozen into checkpoints (subclasses add
+        their own knobs); informational, not validated on resume."""
+        return {
+            "eps": self.eps,
+            "gamma": self.gamma,
+            "include_endpoints": self.include_endpoints,
+            "sampler_method": self.sampler_method,
+        }
+
+    def _checkpoint(
+        self,
+        session: SamplingSession,
+        k: int,
+        loop: dict,
+        force: bool = False,
+    ) -> None:
+        """Maybe write a checkpoint after one outer-loop iteration.
+
+        ``loop`` is the algorithm's loop state (JSON-serializable); a
+        snapshot lands on ``checkpoint_path`` every ``checkpoint_every``
+        iterations (or immediately when ``force``).  Raises
+        :class:`~repro.exceptions.SessionInterrupted` once
+        ``stop_after_checkpoints`` snapshots were written this run.
+        """
+        if self.checkpoint_path is None:
+            return
+        if not force:
+            self._iters_since_ckpt += 1
+            if self._iters_since_ckpt < self.checkpoint_every:
+                return
+        elif self._iters_since_ckpt == 0:
+            return  # final boundary already snapshotted by cadence
+        state = {
+            "algorithm": self.name,
+            "k": int(k),
+            "params": self._checkpoint_params(),
+            "algorithm_rng": self._rng.bit_generator.state,
+            "loop": loop,
+            "meta": self.checkpoint_meta,
+        }
+        session.checkpoint(self.checkpoint_path, state=state)
+        self._iters_since_ckpt = 0
+        self._checkpoints_this_run += 1
+        if (
+            self.stop_after_checkpoints is not None
+            and self._checkpoints_this_run >= self.stop_after_checkpoints
+        ):
+            raise SessionInterrupted(
+                self.checkpoint_path, self._checkpoints_this_run
+            )
+
+    def _session_diagnostics(self, session: SamplingSession, owns: bool) -> dict:
+        """The session/engine entries of ``GBCResult.diagnostics``."""
+        session.flush_coverage()
+        return {
+            "resumed": session.resumed,
+            "checkpoints": self._checkpoints_this_run,
+            "session": {
+                "lanes": session.lanes,
+                "samples_drawn": session.samples_drawn,
+                "samples_reused": self._samples_reused,
+                "external": not owns,
+            },
+            **self._engine_diagnostics(session.engines),
+        }
 
     # ------------------------------------------------------------------
     def _make_engines(self, graph: CSRGraph, count: int) -> list[SampleEngine]:

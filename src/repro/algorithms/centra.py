@@ -25,7 +25,7 @@ import math
 
 from ..bounds.rademacher import era_deviation_bound, monte_carlo_era
 from ..bounds.sample_size import centra_sample_size, guess_schedule
-from ..coverage import CoverageInstance, greedy_max_cover
+from ..coverage import greedy_max_cover
 from ..graph.csr import CSRGraph
 from .base import GBCResult
 from .hedge import Hedge
@@ -55,6 +55,11 @@ class CentRa(Hedge):
         era_draws: int = 8,
         telemetry=None,
         debug: bool = False,
+        session=None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+        stop_after_checkpoints: int | None = None,
     ):
         super().__init__(
             eps=eps,
@@ -70,12 +75,24 @@ class CentRa(Hedge):
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,
+            session=session,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            stop_after_checkpoints=stop_after_checkpoints,
         )
         self.empirical_stop = empirical_stop
         self.era_draws = era_draws
 
     def _sample_bound(self, n: int, k: int, gamma_each: float, mu: float) -> int:
         return centra_sample_size(n, k, self.eps, gamma_each, mu)
+
+    def _checkpoint_params(self) -> dict:
+        return {
+            **super()._checkpoint_params(),
+            "empirical_stop": self.empirical_stop,
+            "era_draws": self.era_draws,
+        }
 
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, k: int) -> GBCResult:
@@ -87,25 +104,38 @@ class CentRa(Hedge):
         """Guess-and-halve with the MC-ERA early stop layered on top."""
         self._validate(graph, k)
         start = self._timer()
+        self._begin_run()
 
         n = graph.n
         pairs = graph.num_ordered_pairs
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / (2 * num_guesses)
 
-        (engine,) = engines = self._make_engines(graph, 1)
-        instance = CoverageInstance(n)
+        session, state, owns = self._open_session(graph, k, 1)
+        instance = session.store(0)
 
         group: list[int] = []
         estimate = 0.0
         iterations = 0
         converged = False
         stopped_by_era = False
+        skip = 0
+        if state is not None:
+            # the MC-ERA draws consumed self._rng, whose state the
+            # checkpoint restored alongside the engine streams
+            loop = state["loop"]
+            iterations = skip = int(loop["iterations"])
+            group = [int(v) for v in loop["group"]]
+            estimate = float(loop["estimate"])
         telemetry = self.telemetry
 
         try:
             with telemetry.span("centra", k=k, n=n, empirical=True):
-                for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                for index, (_, guess, mu) in enumerate(
+                    guess_schedule(n, base=self.guess_base)
+                ):
+                    if index < skip:
+                        continue
                     target = self._sample_bound(n, k, gamma_each, mu)
                     if self.max_samples is not None and target > self.max_samples:
                         telemetry.event(
@@ -118,7 +148,7 @@ class CentRa(Hedge):
                         break
                     iterations += 1
                     with telemetry.span("sample", target=target):
-                        engine.extend(instance, target)
+                        session.extend(target, lane=0)
                     with telemetry.span("greedy"):
                         cover = greedy_max_cover(instance, k)
                     group = cover.group
@@ -158,8 +188,18 @@ class CentRa(Hedge):
                     )
                     if converged:
                         break
+                    self._checkpoint(
+                        session,
+                        k,
+                        {
+                            "iterations": iterations,
+                            "group": [int(v) for v in group],
+                            "estimate": float(estimate),
+                        },
+                    )
         finally:
-            self._close_all(engines)
+            if owns:
+                session.close()
 
         return GBCResult(
             algorithm=self.name,
@@ -173,6 +213,6 @@ class CentRa(Hedge):
                 "num_guesses": num_guesses,
                 "empirical_stop": True,
                 "stopped_by_era": stopped_by_era,
-                **self._engine_diagnostics(engines),
+                **self._session_diagnostics(session, owns),
             },
         )

@@ -20,7 +20,7 @@ property is preserved.  Pass ``num_samples=None`` to run the faithful
 
 from __future__ import annotations
 
-from ..coverage import CoverageInstance, greedy_max_cover
+from ..coverage import greedy_max_cover
 from ..graph.csr import CSRGraph
 from .base import GBCResult
 from .hedge import Hedge
@@ -50,6 +50,11 @@ class Exhaust(Hedge):
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
+        session=None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+        stop_after_checkpoints: int | None = None,
     ):
         super().__init__(
             eps=eps,
@@ -64,26 +69,42 @@ class Exhaust(Hedge):
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,
+            session=session,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            stop_after_checkpoints=stop_after_checkpoints,
         )
         self.num_samples = num_samples
+
+    def _checkpoint_params(self) -> dict:
+        return {
+            **super()._checkpoint_params(),
+            "num_samples": self.num_samples,
+        }
 
     def run(self, graph: CSRGraph, k: int) -> GBCResult:
         if self.num_samples is None:
             return super().run(graph, k)
         self._validate(graph, k)
         start = self._timer()
+        self._begin_run()
         telemetry = self.telemetry
 
-        (engine,) = engines = self._make_engines(graph, 1)
-        instance = CoverageInstance(graph.n)
+        session, state, owns = self._open_session(graph, k, 1)
+        instance = session.store(0)
         try:
             with telemetry.span("exhaust", k=k, n=graph.n):
                 with telemetry.span("sample", target=self.num_samples):
-                    engine.extend(instance, self.num_samples)
+                    # idempotent on resume: a store already holding the
+                    # budget draws nothing more
+                    session.extend(self.num_samples, lane=0)
+                self._checkpoint(session, k, {"drawn": True})
                 with telemetry.span("greedy"):
                     cover = greedy_max_cover(instance, k)
         finally:
-            self._close_all(engines)
+            if owns:
+                session.close()
         estimate = cover.covered / instance.num_paths * graph.num_ordered_pairs
         telemetry.event(
             "iteration",
@@ -104,6 +125,6 @@ class Exhaust(Hedge):
             elapsed_seconds=self._timer() - start,
             diagnostics={
                 "fixed_budget": True,
-                **self._engine_diagnostics(engines),
+                **self._session_diagnostics(session, owns),
             },
         )

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 
 from ..bounds.sample_size import guess_schedule, hedge_sample_size
-from ..coverage import CoverageInstance, greedy_max_cover
+from ..coverage import greedy_max_cover
 from ..exceptions import ParameterError
 from ..graph.csr import CSRGraph
 from .base import GBCResult, SamplingAlgorithm
@@ -59,6 +59,11 @@ class Hedge(SamplingAlgorithm):
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
+        session=None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+        stop_after_checkpoints: int | None = None,
     ):
         super().__init__(
             eps=eps,
@@ -72,6 +77,11 @@ class Hedge(SamplingAlgorithm):
             cache_sources=cache_sources,
             telemetry=telemetry,
             debug=debug,
+            session=session,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            stop_after_checkpoints=stop_after_checkpoints,
         )
         if guess_base <= 1.0:
             raise ParameterError(f"guess_base must exceed 1, got {guess_base}")
@@ -82,30 +92,50 @@ class Hedge(SamplingAlgorithm):
         """The per-guess sample requirement (overridden by CentRa)."""
         return hedge_sample_size(n, k, self.eps, gamma_each, mu)
 
+    def _checkpoint_params(self) -> dict:
+        return {
+            **super()._checkpoint_params(),
+            "guess_base": self.guess_base,
+            "max_samples": self.max_samples,
+        }
+
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, k: int) -> GBCResult:
         """Guess-and-halve outer loop around the union-bound sampler."""
         self._validate(graph, k)
         start = self._timer()
+        self._begin_run()
 
         n = graph.n
         pairs = graph.num_ordered_pairs
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / num_guesses
 
-        (engine,) = engines = self._make_engines(graph, 1)
-        instance = CoverageInstance(n)
+        session, state, owns = self._open_session(graph, k, 1)
+        instance = session.store(0)
 
         group: list[int] = []
         estimate = 0.0
         iterations = 0
         converged = False
         capped = False
+        skip = 0
+        if state is not None:
+            # every completed iteration consumed exactly one schedule
+            # entry, so the iteration count doubles as the resume cursor
+            loop = state["loop"]
+            iterations = skip = int(loop["iterations"])
+            group = [int(v) for v in loop["group"]]
+            estimate = float(loop["estimate"])
         telemetry = self.telemetry
 
         try:
             with telemetry.span(self.name.lower(), k=k, n=n):
-                for _, guess, mu in guess_schedule(n, base=self.guess_base):
+                for index, (_, guess, mu) in enumerate(
+                    guess_schedule(n, base=self.guess_base)
+                ):
+                    if index < skip:
+                        continue
                     target = self._sample_bound(n, k, gamma_each, mu)
                     if self.max_samples is not None and target > self.max_samples:
                         capped = True
@@ -119,7 +149,7 @@ class Hedge(SamplingAlgorithm):
                         break
                     iterations += 1
                     with telemetry.span("sample", target=target):
-                        engine.extend(instance, target)
+                        session.extend(target, lane=0)
                     with telemetry.span("greedy"):
                         cover = greedy_max_cover(instance, k)
                     group = cover.group
@@ -138,8 +168,18 @@ class Hedge(SamplingAlgorithm):
                     )
                     if converged:
                         break
+                    self._checkpoint(
+                        session,
+                        k,
+                        {
+                            "iterations": iterations,
+                            "group": [int(v) for v in group],
+                            "estimate": float(estimate),
+                        },
+                    )
         finally:
-            self._close_all(engines)
+            if owns:
+                session.close()
 
         return GBCResult(
             algorithm=self.name,
@@ -152,6 +192,6 @@ class Hedge(SamplingAlgorithm):
             diagnostics={
                 "num_guesses": num_guesses,
                 "capped": capped,
-                **self._engine_diagnostics(engines),
+                **self._session_diagnostics(session, owns),
             },
         )

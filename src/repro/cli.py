@@ -4,7 +4,12 @@ Subcommands
 -----------
 ``run``
     Run one algorithm on a dataset (or an edge-list file) and print the
-    found group, its estimated centrality, and the sample count.
+    found group, its estimated centrality, and the sample count.  With
+    ``--checkpoint PATH`` the run snapshots its sampling session at
+    iteration boundaries, so a killed run can be continued with
+    ``resume`` — bit-identically to an uninterrupted run.
+``resume``
+    Continue a checkpointed ``run`` from its snapshot file.
 ``compare``
     Run several algorithms head-to-head on the same graph and print a
     comparison table (quality, samples, time).
@@ -14,12 +19,18 @@ Subcommands
 ``datasets``
     List the Table I registry.
 
+Exit codes: 0 success, 3 when ``--stop-after-checkpoints`` interrupted
+the run on purpose (the checkpoint is ready to ``resume``).
+
 Examples
 --------
 ::
 
     repro-gbc run --algorithm adaalg --dataset GrQc -k 20 --eps 0.3
     repro-gbc run --algorithm hedge --edge-list my_graph.txt -k 10
+    repro-gbc run --algorithm adaalg --dataset GrQc -k 20 \
+        --checkpoint run.ckpt.npz --checkpoint-every 2
+    repro-gbc resume run.ckpt.npz
     repro-gbc compare --dataset GrQc -k 20
     repro-gbc experiment fig4 --preset smoke --output fig4.csv
     repro-gbc datasets
@@ -28,6 +39,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .algorithms import (
@@ -41,6 +53,7 @@ from .algorithms import (
 )
 from .datasets import DATASETS, load
 from .engine import ENGINES, KERNELS
+from .exceptions import CheckpointError, SessionInterrupted
 from .experiments import (
     BENCH,
     FULL,
@@ -48,6 +61,7 @@ from .experiments import (
     SMOKE,
     run_base_sweep,
     run_endpoint_ablation,
+    run_eps_sweep,
     run_fig1,
     run_fig2,
     run_fig3,
@@ -66,8 +80,12 @@ from .experiments.report import format_table
 from .graph import giant_component, read_edge_list, read_weighted_edge_list
 from .obs import CallbackSink, JsonlSink, Telemetry
 from .paths import exact_gbc
+from .session import SamplingSession
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code of a run deliberately interrupted by --stop-after-checkpoints.
+EXIT_INTERRUPTED = 3
 
 _PRESETS = {"smoke": SMOKE, "bench": BENCH, "reduced": REDUCED, "full": FULL}
 _EXPERIMENTS = {
@@ -77,6 +95,7 @@ _EXPERIMENTS = {
     "fig3": lambda cfg: run_fig3(cfg),
     "fig4": lambda cfg: run_fig4(cfg),
     "fig5": lambda cfg: run_fig5(cfg),
+    "sweep-warmstart": lambda cfg: run_eps_sweep(cfg),
     "ablation-base": lambda cfg: run_base_sweep(cfg),
     "ablation-work": lambda cfg: run_sampler_work(cfg),
     "ablation-endpoints": lambda cfg: run_endpoint_ablation(cfg),
@@ -86,6 +105,17 @@ _EXPERIMENTS = {
     "ablation-localsearch": lambda cfg: run_local_search_ablation(cfg),
     "ablation-scaling": lambda cfg: run_work_scaling(cfg),
 }
+
+#: Checkpoint ``state["algorithm"]`` name → CLI algorithm key.
+_ALGORITHM_KEYS = {
+    "AdaAlg": "adaalg",
+    "HEDGE": "hedge",
+    "CentRa": "centra",
+    "EXHAUST": "exhaust",
+}
+
+#: CLI algorithm keys that support --checkpoint / resume.
+_CHECKPOINTABLE = frozenset(_ALGORITHM_KEYS.values())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +193,38 @@ def build_parser() -> argparse.ArgumentParser:
             help="print per-iteration progress lines to stderr",
         )
 
+    def add_checkpoint_flags(parser_, resuming: bool):
+        parser_.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="snapshot the sampling session to PATH at iteration "
+            "boundaries (resume later with `resume PATH`)"
+            + ("; defaults to the file being resumed" if resuming else ""),
+        )
+        parser_.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=1,
+            metavar="N",
+            help="iterations between checkpoints (default 1)",
+        )
+        parser_.add_argument(
+            "--stop-after-checkpoints",
+            type=int,
+            default=None,
+            metavar="N",
+            help="deliberately stop (exit code 3) once N checkpoints "
+            "were written — for testing resume",
+        )
+        parser_.add_argument(
+            "--json",
+            metavar="PATH",
+            default=None,
+            help="also write the result (group, estimates, samples) as "
+            "deterministic JSON to PATH",
+        )
+
     run = sub.add_parser("run", help="run one algorithm on one graph")
     add_graph_source(run)
     run.add_argument(
@@ -173,6 +235,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-k", type=int, default=20, help="group size (default 20)")
     run.add_argument("--eps", type=float, default=0.3, help="error ratio")
     run.add_argument("--gamma", type=float, default=0.01, help="error probability")
+    add_checkpoint_flags(run, resuming=False)
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed run from its snapshot"
+    )
+    resume.add_argument(
+        "checkpoint_file", metavar="PATH",
+        help="checkpoint written by `run --checkpoint`",
+    )
+    add_checkpoint_flags(resume, resuming=True)
+    resume.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="write run telemetry as JSON lines to PATH",
+    )
+    resume.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-iteration progress lines to stderr",
+    )
+    resume.add_argument(
+        "--debug-invariants",
+        action="store_true",
+        help="validate every sampled path while running (slow)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run several algorithms head-to-head on one graph"
@@ -211,6 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect in-memory run telemetry for every algorithm run "
         "(recorded in the result metadata)",
     )
+    experiment.add_argument(
+        "--reuse-sessions",
+        action="store_true",
+        help="warm-start the sweep: share one growing sample pool per "
+        "(dataset, algorithm) across cells (samples_reused lands in "
+        "the result metadata)",
+    )
 
     sub.add_parser("datasets", help="list the Table I dataset registry")
     return parser
@@ -227,6 +322,10 @@ def _make_algorithm(
     cache_sources: int = 0,
     telemetry=None,
     debug: bool = False,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 1,
+    resume_from: str | None = None,
+    stop_after_checkpoints: int | None = None,
 ):
     sampling = {
         "engine": engine,
@@ -235,6 +334,10 @@ def _make_algorithm(
         "cache_sources": cache_sources,
         "telemetry": telemetry,
         "debug": debug,
+        "checkpoint_path": checkpoint_path,
+        "checkpoint_every": checkpoint_every,
+        "resume_from": resume_from,
+        "stop_after_checkpoints": stop_after_checkpoints,
     }
     factories = {
         "adaalg": lambda: AdaAlg(eps=eps, gamma=gamma, seed=seed, **sampling),
@@ -245,6 +348,11 @@ def _make_algorithm(
         "puzis": lambda: PuzisGreedy(),
         "brute": lambda: BruteForce(),
     }
+    if name not in _CHECKPOINTABLE and (checkpoint_path or resume_from):
+        raise SystemExit(
+            f"error: --checkpoint / resume is only supported for "
+            f"the sampling algorithms ({', '.join(sorted(_CHECKPOINTABLE))})"
+        )
     return factories[name]()
 
 
@@ -296,6 +404,68 @@ def _load_graph(args):
     return graph
 
 
+def _result_payload(result, k: int) -> dict:
+    """The deterministic result contract written by ``--json``.
+
+    Deliberately excludes wall-clock time and checkpoint/resume
+    bookkeeping, so an interrupted-and-resumed run and an uninterrupted
+    one produce byte-identical files (the CI resume check diffs them).
+    """
+    return {
+        "algorithm": result.algorithm,
+        "k": int(k),
+        "group": sorted(int(v) for v in result.group),
+        "estimate": result.estimate,
+        "estimate_unbiased": result.estimate_unbiased,
+        "num_samples": int(result.num_samples),
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+    }
+
+
+def _print_result(result, graph, args, k: int) -> None:
+    pairs = graph.num_ordered_pairs
+    print(f"algorithm   : {result.algorithm}")
+    print(f"engine      : {args.engine}"
+          + (f" (workers={args.workers})" if args.workers else "")
+          + f" kernel={args.kernel}")
+    print(f"graph       : n={graph.n} m={graph.num_edges} "
+          f"({'directed' if graph.directed else 'undirected'})")
+    print(f"group (K={k}): {sorted(result.group)}")
+    print(f"estimate    : {result.estimate:.1f} "
+          f"(normalized {result.estimate / pairs:.4f})")
+    if result.estimate_unbiased is not None:
+        print(f"unbiased    : {result.estimate_unbiased:.1f}")
+    print(f"samples     : {result.num_samples}")
+    print(f"iterations  : {result.iterations}")
+    print(f"converged   : {result.converged}")
+    if result.diagnostics.get("resumed"):
+        print("resumed     : True")
+    if result.diagnostics.get("checkpoints"):
+        print(f"checkpoints : {result.diagnostics['checkpoints']}")
+    print(f"elapsed     : {result.elapsed_seconds:.2f}s")
+    if getattr(args, "log_json", None):
+        print(f"telemetry   : {args.log_json}")
+
+
+def _finish_run(algorithm, graph, args, k: int) -> int:
+    """Run, print, optionally write ``--json``; maps a deliberate
+    ``--stop-after-checkpoints`` interruption to exit code 3."""
+    try:
+        result = algorithm.run(graph, k)
+    except SessionInterrupted as exc:
+        print(f"interrupted : {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    _print_result(result, graph, args, k)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_result_payload(result, k), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"json        : {args.json}")
+    return 0
+
+
 def _cmd_run(args) -> int:
     graph = _load_graph(args)
     telemetry = _build_telemetry(args)
@@ -310,31 +480,82 @@ def _cmd_run(args) -> int:
         args.cache_sources,
         telemetry=telemetry,
         debug=args.debug_invariants,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        stop_after_checkpoints=args.stop_after_checkpoints,
     )
+    if args.checkpoint and hasattr(algorithm, "checkpoint_meta"):
+        # graph + run provenance the `resume` command needs to rebuild
+        # this exact invocation from the snapshot alone
+        algorithm.checkpoint_meta = {
+            "dataset": args.dataset,
+            "edge_list": args.edge_list,
+            "directed": args.directed,
+            "weighted": args.weighted,
+            "whole_graph": args.whole_graph,
+            "seed": args.seed,
+            "algorithm": args.algorithm,
+            "engine": args.engine,
+            "workers": args.workers,
+            "kernel": args.kernel,
+            "cache_sources": args.cache_sources,
+        }
     try:
-        result = algorithm.run(graph, args.k)
+        return _finish_run(algorithm, graph, args, args.k)
     finally:
         if telemetry is not None:
             telemetry.close()
-    pairs = graph.num_ordered_pairs
-    print(f"algorithm   : {result.algorithm}")
-    print(f"engine      : {args.engine}"
-          + (f" (workers={args.workers})" if args.workers else "")
-          + f" kernel={args.kernel}")
-    print(f"graph       : n={graph.n} m={graph.num_edges} "
-          f"({'directed' if graph.directed else 'undirected'})")
-    print(f"group (K={args.k}): {sorted(result.group)}")
-    print(f"estimate    : {result.estimate:.1f} "
-          f"(normalized {result.estimate / pairs:.4f})")
-    if result.estimate_unbiased is not None:
-        print(f"unbiased    : {result.estimate_unbiased:.1f}")
-    print(f"samples     : {result.num_samples}")
-    print(f"iterations  : {result.iterations}")
-    print(f"converged   : {result.converged}")
-    print(f"elapsed     : {result.elapsed_seconds:.2f}s")
-    if args.log_json:
-        print(f"telemetry   : {args.log_json}")
-    return 0
+
+
+def _cmd_resume(args) -> int:
+    path = args.checkpoint_file
+    meta = SamplingSession.peek(path)
+    state = meta.get("state") or {}
+    saved = state.get("meta") or {}
+    if not saved or "algorithm" not in saved:
+        raise CheckpointError(
+            f"{path!r} does not carry CLI run provenance; it was written "
+            "by the library API — resume it with "
+            "SamplingAlgorithm(resume_from=...) instead"
+        )
+    params = state.get("params") or {}
+
+    class _GraphArgs:
+        dataset = saved.get("dataset")
+        edge_list = saved.get("edge_list")
+        directed = bool(saved.get("directed"))
+        weighted = bool(saved.get("weighted"))
+        whole_graph = bool(saved.get("whole_graph"))
+        seed = saved.get("seed", 0)
+
+    graph = _load_graph(_GraphArgs)
+    telemetry = _build_telemetry(args)
+    algorithm = _make_algorithm(
+        saved["algorithm"],
+        params.get("eps", 0.3),
+        params.get("gamma", 0.01),
+        saved.get("seed", 0),
+        saved.get("engine", "serial"),
+        saved.get("workers"),
+        saved.get("kernel", "wavefront"),
+        saved.get("cache_sources", 0),
+        telemetry=telemetry,
+        debug=args.debug_invariants,
+        checkpoint_path=args.checkpoint or path,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=path,
+        stop_after_checkpoints=args.stop_after_checkpoints,
+    )
+    args.engine = saved.get("engine", "serial")
+    args.workers = saved.get("workers")
+    args.kernel = saved.get("kernel", "wavefront")
+    print(f"resuming    : {path} ({state['algorithm']}, "
+          f"K={state['k']}, {sum(meta['num_paths'])} samples banked)")
+    try:
+        return _finish_run(algorithm, graph, args, int(state["k"]))
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def _cmd_compare(args) -> int:
@@ -387,6 +608,8 @@ def _cmd_experiment(args) -> int:
         config = config.with_overrides(seed=args.seed)
     if args.telemetry:
         config = config.with_overrides(telemetry=True)
+    if args.reuse_sessions:
+        config = config.with_overrides(reuse_sessions=True)
     result = _EXPERIMENTS[args.name](config)
     print(result.render())
     if args.output:
@@ -420,6 +643,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "resume": _cmd_resume,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,

@@ -69,6 +69,11 @@ class CoverageInstance:
         # node -> path CSR incidence, rebuilt lazily after appends
         self._inc_indptr: np.ndarray | None = None
         self._inc_paths: np.ndarray | None = None
+        # every append->query transition re-argsorts the whole flat
+        # array; these counters make that hidden cost observable
+        # (surfaced as EngineStats.coverage_* and telemetry coverage.*)
+        self.rebuilds = 0
+        self.rebuilt_elements = 0
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +126,8 @@ class CoverageInstance:
             order = np.argsort(flat, kind="stable")
             self._inc_indptr = indptr
             self._inc_paths = path_ids[order]
+            self.rebuilds += 1
+            self.rebuilt_elements += int(self._flat_len)
         return self._inc_indptr, self._inc_paths
 
     def paths_through_array(self, node: int) -> np.ndarray:

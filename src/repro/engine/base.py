@@ -28,13 +28,14 @@ The contract every engine honors:
 from __future__ import annotations
 
 import abc
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._rng import as_generator
 from ..coverage.hypergraph import CoverageInstance
-from ..exceptions import ParameterError
+from ..exceptions import CheckpointError, ParameterError
 from ..graph.csr import CSRGraph
 from ..obs import NULL_TELEMETRY, check_instance, check_sample
 from ..paths._dispatch import is_weighted
@@ -129,6 +130,12 @@ class EngineStats:
     cache_hits, cache_misses:
         Forward-BFS tree cache activity (``cache_sources`` knob);
         both zero when the cache is disabled.
+    coverage_rebuilds, coverage_rebuilt_elements:
+        Node→path CSR rebuilds of the coverage instances this engine
+        extends, and the total flat-array elements re-argsorted by
+        those rebuilds.  Every append→query transition pays one full
+        rebuild (:class:`~repro.coverage.CoverageInstance`), so a
+        regression in query batching shows up here first.
     """
 
     samples: int = 0
@@ -141,6 +148,8 @@ class EngineStats:
     pool_startups: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    coverage_rebuilds: int = 0
+    coverage_rebuilt_elements: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-friendly copy for ``GBCResult.diagnostics``."""
@@ -155,6 +164,8 @@ class EngineStats:
             "pool_startups": self.pool_startups,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "coverage_rebuilds": self.coverage_rebuilds,
+            "coverage_rebuilt_elements": self.coverage_rebuilt_elements,
         }
 
 
@@ -215,6 +226,58 @@ class SampleEngine(abc.ABC):
         self.stats = EngineStats()
         self.telemetry = NULL_TELEMETRY
         self.debug = False
+        # per-instance high-water marks of the coverage rebuild
+        # counters, so extend() can report deltas without double
+        # counting when several instances share one engine
+        self._coverage_seen: weakref.WeakKeyDictionary = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    def rng_state(self) -> dict:
+        """The engine's random-stream state, as a JSON-serializable dict.
+
+        Every engine's sample sequence is a pure function of this state
+        (the pool engine derives its per-chunk child seeds from the same
+        stream), so capturing it at a draw boundary and restoring it
+        with :meth:`set_rng_state` continues the sequence bit-identically
+        — the contract :class:`~repro.session.SamplingSession`
+        checkpoints rely on.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`rng_state`.
+
+        The engine must be backed by the same bit-generator type the
+        state was captured from (``default_rng`` seeds always yield
+        ``PCG64``); a mismatch raises
+        :class:`~repro.exceptions.CheckpointError`.
+        """
+        current = self._rng.bit_generator.state.get("bit_generator")
+        wanted = state.get("bit_generator") if isinstance(state, dict) else None
+        if wanted != current:
+            raise CheckpointError(
+                f"cannot restore RNG state of bit generator {wanted!r} "
+                f"into {current!r}"
+            )
+        self._rng.bit_generator.state = state
+
+    def _flush_coverage(self, instance: CoverageInstance) -> None:
+        """Fold the instance's rebuild-counter growth since the last
+        flush into :attr:`stats` and the ``coverage.*`` telemetry."""
+        prev_rebuilds, prev_elements = self._coverage_seen.get(instance, (0, 0))
+        delta_rebuilds = instance.rebuilds - prev_rebuilds
+        delta_elements = instance.rebuilt_elements - prev_elements
+        if delta_rebuilds or delta_elements:
+            self.stats.coverage_rebuilds += delta_rebuilds
+            self.stats.coverage_rebuilt_elements += delta_elements
+            self.telemetry.count("coverage.rebuilds", delta_rebuilds)
+            self.telemetry.count("coverage.rebuilt_elements", delta_elements)
+        self._coverage_seen[instance] = (
+            instance.rebuilds,
+            instance.rebuilt_elements,
+        )
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -230,6 +293,9 @@ class SampleEngine(abc.ABC):
         ``engine.*`` counter deltas), and :attr:`debug` mode validates
         the samples and the instance bookkeeping.
         """
+        # pick up CSR rebuilds triggered by queries since the last draw
+        # (greedy passes run between extends) before appending more
+        self._flush_coverage(instance)
         missing = upto - instance.num_paths
         if missing <= 0:
             return
@@ -249,6 +315,7 @@ class SampleEngine(abc.ABC):
             instance.add_path(coverage_nodes(sample, self.include_endpoints))
         if self.debug:
             check_instance(instance)
+        self._flush_coverage(instance)
 
     def close(self) -> None:
         """Release engine resources (worker processes); idempotent."""

@@ -39,3 +39,22 @@ class InvariantViolation(ReproError):
 
 class DatasetError(ReproError):
     """A named dataset is unknown or could not be materialized."""
+
+
+class CheckpointError(ReproError):
+    """A sampling-session checkpoint could not be written, read, or
+    applied (corrupt file, mismatched graph, incompatible provenance)."""
+
+
+class SessionInterrupted(ReproError):
+    """A run stopped deliberately after writing a checkpoint
+    (``stop_after_checkpoints``); resume from the reported path to
+    continue bit-identically."""
+
+    def __init__(self, path: str, checkpoints: int):
+        super().__init__(
+            f"run interrupted after {checkpoints} checkpoint(s); "
+            f"resume from {path!r}"
+        )
+        self.path = path
+        self.checkpoints = checkpoints

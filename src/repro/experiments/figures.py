@@ -20,6 +20,7 @@ from .harness import (
     SAMPLING_ALGORITHMS,
     DatasetContext,
     ExperimentConfig,
+    SessionBank,
     build_sampling_algorithm,
     load_dataset,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "run_fig3",
     "run_fig4",
     "run_fig5",
+    "run_eps_sweep",
 ]
 
 
@@ -43,6 +45,7 @@ def engine_meta(config: ExperimentConfig) -> dict:
         "workers": config.workers,
         "kernel": config.kernel,
         "telemetry": config.telemetry,
+        "reuse_sessions": config.reuse_sessions,
     }
 
 
@@ -152,33 +155,43 @@ def _quality_rows(config: ExperimentConfig, cells):
     normalized GBC of EXHAUST (shared pool) and each sampling algorithm
     (averaged over repetitions), plus AdaAlg's ratio to EXHAUST."""
     rows = []
+    samples_reused = 0
     for dataset in config.datasets:
         graph = load_dataset(dataset, config)
         context = DatasetContext(graph, config)
         master = as_generator(config.seed + 2)
-        for k, eps in cells:
-            if k > graph.n:
-                continue
-            exhaust_norm = context.evaluate_normalized(context.exhaust_group(k))
-            means = {}
-            for name in SAMPLING_ALGORITHMS:
-                total = 0.0
-                for _ in range(config.repetitions):
-                    algorithm = build_sampling_algorithm(name, eps, config, master)
-                    result = algorithm.run(graph, k)
-                    total += context.evaluate_normalized(result.group)
-                means[name] = total / config.repetitions
-            ratio = means["AdaAlg"] / exhaust_norm if exhaust_norm else 0.0
-            rows.append(
-                [
-                    dataset,
-                    k,
-                    eps,
-                    exhaust_norm,
-                    *(means[name] for name in SAMPLING_ALGORITHMS),
-                    ratio,
-                ]
-            )
+        bank = SessionBank(graph, config) if config.reuse_sessions else None
+        try:
+            for k, eps in cells:
+                if k > graph.n:
+                    continue
+                exhaust_norm = context.evaluate_normalized(context.exhaust_group(k))
+                means = {}
+                for name in SAMPLING_ALGORITHMS:
+                    total = 0.0
+                    for _ in range(config.repetitions):
+                        algorithm = build_sampling_algorithm(
+                            name, eps, config, master,
+                            session=bank.session_for(name) if bank else None,
+                        )
+                        result = algorithm.run(graph, k)
+                        total += context.evaluate_normalized(result.group)
+                    means[name] = total / config.repetitions
+                ratio = means["AdaAlg"] / exhaust_norm if exhaust_norm else 0.0
+                rows.append(
+                    [
+                        dataset,
+                        k,
+                        eps,
+                        exhaust_norm,
+                        *(means[name] for name in SAMPLING_ALGORITHMS),
+                        ratio,
+                    ]
+                )
+        finally:
+            if bank is not None:
+                samples_reused += bank.samples_reused
+                bank.close()
     headers = [
         "dataset",
         "K",
@@ -187,19 +200,19 @@ def _quality_rows(config: ExperimentConfig, cells):
         *(f"norm_{name}" for name in SAMPLING_ALGORITHMS),
         "ada_vs_exhaust",
     ]
-    return headers, rows
+    return headers, rows, samples_reused
 
 
 def run_fig2(config: ExperimentConfig, eps: float = 0.3) -> FigureResult:
     """Normalized GBC of all four algorithms vs group size K (Fig. 2)."""
     cells = [(k, eps) for k in config.ks]
-    headers, rows = _quality_rows(config, cells)
+    headers, rows, reused = _quality_rows(config, cells)
     return FigureResult(
         name="Figure 2",
         title=f"normalized GBC vs K (eps={eps}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
-        meta=engine_meta(config),
+        meta={**engine_meta(config), "samples_reused": reused},
     )
 
 
@@ -207,13 +220,13 @@ def run_fig3(config: ExperimentConfig, k: int | None = None) -> FigureResult:
     """Normalized GBC of all four algorithms vs error ratio eps (Fig. 3)."""
     k = max(config.ks) if k is None else k
     cells = [(k, eps) for eps in config.eps_values]
-    headers, rows = _quality_rows(config, cells)
+    headers, rows, reused = _quality_rows(config, cells)
     return FigureResult(
         name="Figure 3",
         title=f"normalized GBC vs eps (K={k}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
-        meta=engine_meta(config),
+        meta={**engine_meta(config), "samples_reused": reused},
     )
 
 
@@ -223,29 +236,39 @@ def run_fig3(config: ExperimentConfig, k: int | None = None) -> FigureResult:
 def _sample_rows(config: ExperimentConfig, cells):
     """Shared driver for the sample-count figures (no quality grading)."""
     rows = []
+    samples_reused = 0
     for dataset in config.datasets:
         graph = load_dataset(dataset, config)
         master = as_generator(config.seed + 3)
-        for k, eps in cells:
-            if k > graph.n:
-                continue
-            means = {}
-            for name in SAMPLING_ALGORITHMS:
-                total = 0
-                for _ in range(config.repetitions):
-                    algorithm = build_sampling_algorithm(name, eps, config, master)
-                    total += algorithm.run(graph, k).num_samples
-                means[name] = total / config.repetitions
-            ratio = means["CentRa"] / means["AdaAlg"] if means["AdaAlg"] else 0.0
-            rows.append(
-                [
-                    dataset,
-                    k,
-                    eps,
-                    *(means[name] for name in SAMPLING_ALGORITHMS),
-                    ratio,
-                ]
-            )
+        bank = SessionBank(graph, config) if config.reuse_sessions else None
+        try:
+            for k, eps in cells:
+                if k > graph.n:
+                    continue
+                means = {}
+                for name in SAMPLING_ALGORITHMS:
+                    total = 0
+                    for _ in range(config.repetitions):
+                        algorithm = build_sampling_algorithm(
+                            name, eps, config, master,
+                            session=bank.session_for(name) if bank else None,
+                        )
+                        total += algorithm.run(graph, k).num_samples
+                    means[name] = total / config.repetitions
+                ratio = means["CentRa"] / means["AdaAlg"] if means["AdaAlg"] else 0.0
+                rows.append(
+                    [
+                        dataset,
+                        k,
+                        eps,
+                        *(means[name] for name in SAMPLING_ALGORITHMS),
+                        ratio,
+                    ]
+                )
+        finally:
+            if bank is not None:
+                samples_reused += bank.samples_reused
+                bank.close()
     headers = [
         "dataset",
         "K",
@@ -253,19 +276,19 @@ def _sample_rows(config: ExperimentConfig, cells):
         *(f"samples_{name}" for name in SAMPLING_ALGORITHMS),
         "centra_over_ada",
     ]
-    return headers, rows
+    return headers, rows, samples_reused
 
 
 def run_fig4(config: ExperimentConfig, eps: float = 0.3) -> FigureResult:
     """Sample counts of the three sampling algorithms vs K (Fig. 4)."""
     cells = [(k, eps) for k in config.ks]
-    headers, rows = _sample_rows(config, cells)
+    headers, rows, reused = _sample_rows(config, cells)
     return FigureResult(
         name="Figure 4",
         title=f"number of samples vs K (eps={eps}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
-        meta=engine_meta(config),
+        meta={**engine_meta(config), "samples_reused": reused},
     )
 
 
@@ -274,11 +297,77 @@ def run_fig5(config: ExperimentConfig, ks: Sequence[int] | None = None) -> Figur
     if ks is None:
         ks = (min(config.ks), max(config.ks))
     cells = [(k, eps) for k in ks for eps in config.eps_values]
-    headers, rows = _sample_rows(config, cells)
+    headers, rows, reused = _sample_rows(config, cells)
     return FigureResult(
         name="Figure 5",
         title=f"number of samples vs eps (K in {tuple(ks)}, gamma={config.gamma})",
         headers=headers,
         rows=rows,
-        meta=engine_meta(config),
+        meta={**engine_meta(config), "samples_reused": reused},
+    )
+
+
+# ----------------------------------------------------------------------
+# Warm-start eps sweep — the session layer's headline saving
+# ----------------------------------------------------------------------
+def run_eps_sweep(
+    config: ExperimentConfig,
+    k: int | None = None,
+    algorithm: str = "AdaAlg",
+) -> FigureResult:
+    """Samples drawn across an eps sweep, cold vs warm-started.
+
+    Runs the same descending-eps sweep twice from the same master seed:
+    once with a fresh session per cell (cold — the historical behavior)
+    and once through one persistent :class:`SessionBank` session (warm —
+    each cell extends the pool the previous cells grew).  The sampler
+    distribution is eps-independent, so the warm pool is monotone and
+    the warm sweep draws strictly fewer paths; the per-cell split and
+    the aggregate saving land in the rows and ``meta``.
+    """
+    k = min(config.ks) if k is None else k
+    eps_sweep = sorted(config.eps_values, reverse=True)
+    rows: list[list] = []
+    cold_total = 0
+    warm_total = 0
+    reused_total = 0
+    for dataset in config.datasets:
+        graph = load_dataset(dataset, config)
+        if k > graph.n:
+            continue
+        cold_drawn: dict[float, int] = {}
+        master = as_generator(config.seed + 5)
+        for eps in eps_sweep:
+            alg = build_sampling_algorithm(algorithm, eps, config, master)
+            result = alg.run(graph, k)
+            cold_drawn[eps] = result.diagnostics["session"]["samples_drawn"]
+        master = as_generator(config.seed + 5)
+        with SessionBank(graph, config, seed=master) as bank:
+            for eps in eps_sweep:
+                session = bank.session_for(algorithm)
+                before = session.samples_drawn
+                alg = build_sampling_algorithm(
+                    algorithm, eps, config, master, session=session
+                )
+                alg.run(graph, k)
+                warm_drawn = session.samples_drawn - before
+                rows.append([dataset, k, eps, cold_drawn[eps], warm_drawn])
+                cold_total += cold_drawn[eps]
+                warm_total += warm_drawn
+            reused_total += bank.samples_reused
+    saved = cold_total - warm_total
+    return FigureResult(
+        name="Eps sweep",
+        title=f"samples drawn per eps cell, cold vs warm ({algorithm}, K={k})",
+        headers=["dataset", "K", "eps", "samples_cold", "samples_warm"],
+        rows=rows,
+        meta={
+            **engine_meta(config),
+            "algorithm": algorithm,
+            "samples_cold": cold_total,
+            "samples_warm": warm_total,
+            "samples_saved": saved,
+            "samples_reused": reused_total,
+            "saving_fraction": saved / cold_total if cold_total else 0.0,
+        },
     )

@@ -1,0 +1,25 @@
+"""Resumable sampling sessions (``repro.session``).
+
+The layer between the execution engines and the sampling algorithms:
+a :class:`SampleStore` is a serializable, append-only pool of sampled
+paths (a :class:`~repro.coverage.CoverageInstance` promoted to
+persistable state, snapshot format documented in
+``docs/architecture.md``), and a :class:`SamplingSession` drives one
+or more ``(engine, store)`` lanes, exposing ``extend`` /
+``checkpoint`` / ``resume``.  The four sampling algorithms are
+stopping-rule policies over a session; the experiments harness reuses
+sessions across sweep cells (warm starts) and the CLI checkpoints and
+resumes long runs through the same seam.
+"""
+
+from .session import CHECKPOINT_FORMAT, CHECKPOINT_VERSION, SamplingSession
+from .store import STORE_FORMAT, STORE_VERSION, SampleStore
+
+__all__ = [
+    "SampleStore",
+    "SamplingSession",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+]

@@ -1,0 +1,313 @@
+"""The :class:`SamplingSession` driver — growing sample pools as state.
+
+AdaAlg's core trick (paper Sec. III-C) is that the *same* growing
+sample set is reused across adaptive iterations.  A session makes that
+pool first-class: it owns one or more ``(engine, store)`` *lanes*
+(AdaAlg keeps two — the selection set S and the validation set T;
+HEDGE/CentRa/EXHAUST keep one), serves ``extend`` requests against
+them, and can freeze the whole arrangement to disk and thaw it later
+**bit-identically** — same stores, same engine RNG states, so the
+continued sample stream is exactly what the uninterrupted run would
+have drawn.
+
+The algorithms are stopping-rule policies over this driver: they decide
+*how far* to extend and *when* to stop, the session decides nothing —
+it acquires, accounts, and persists.
+
+Checkpoint files are single ``.npz`` archives holding every lane's
+:class:`~repro.session.SampleStore` arrays plus a JSON ``meta`` blob:
+graph fingerprint, engine provenance, per-lane RNG states, the draw
+schedule, and an arbitrary ``state`` payload the owning algorithm uses
+for its loop variables.  See ``docs/architecture.md`` for the format
+and its compatibility caveats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .._rng import as_generator, spawn
+from ..engine import SampleEngine, create_engine
+from ..exceptions import CheckpointError, ParameterError
+from ..graph.csr import CSRGraph
+from ..obs import as_telemetry
+from .store import SampleStore, _atomic_savez
+
+__all__ = ["SamplingSession", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_FORMAT = "repro-session-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def _graph_fingerprint(graph: CSRGraph) -> dict:
+    """A light identity check for resume-time validation."""
+    return {
+        "n": int(graph.n),
+        "m": int(graph.num_edges),
+        "directed": bool(graph.directed),
+    }
+
+
+class SamplingSession:
+    """Owns the engines and stores one algorithm run draws through.
+
+    Parameters
+    ----------
+    graph:
+        The network being sampled.
+    lanes:
+        Number of independent ``(engine, store)`` pairs.  Each lane's
+        engine gets its own child stream spawned from ``seed`` — in the
+        same order :class:`~repro.algorithms.SamplingAlgorithm` used to
+        spawn engines directly, so seeded runs are unchanged.
+    seed:
+        Master seed (or a shared :class:`numpy.random.Generator`) the
+        lane streams are derived from.
+    engine, method, include_endpoints, workers, kernel, cache_sources:
+        Engine configuration, recorded as provenance in checkpoints.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` hub; the session reports
+        ``session.*`` counters (samples drawn/reused, extend calls,
+        checkpoints, restores) and ``checkpoint``/``restore`` spans,
+        and wires the same hub into its engines.
+    debug:
+        Forwarded to the engines (per-draw invariant validation).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        lanes: int = 1,
+        seed=None,
+        engine: str = "serial",
+        method: str = "bidirectional",
+        include_endpoints: bool = True,
+        workers: int | None = None,
+        kernel: str = "wavefront",
+        cache_sources: int = 0,
+        telemetry=None,
+        debug: bool = False,
+    ):
+        if lanes < 1:
+            raise ParameterError(f"a session needs at least one lane, got {lanes}")
+        self.graph = graph
+        self.telemetry = as_telemetry(telemetry)
+        self.debug = bool(debug)
+        self.provenance = {
+            "engine": engine,
+            "method": method,
+            "include_endpoints": bool(include_endpoints),
+            "workers": workers,
+            "kernel": kernel,
+            "cache_sources": int(cache_sources),
+        }
+        self.engines: list[SampleEngine] = [
+            create_engine(
+                engine,
+                graph,
+                seed=child,
+                method=method,
+                include_endpoints=include_endpoints,
+                workers=workers,
+                kernel=kernel,
+                cache_sources=cache_sources,
+                telemetry=self.telemetry,
+                debug=debug,
+            )
+            for child in spawn(as_generator(seed), lanes)
+        ]
+        self.stores: list[SampleStore] = [
+            SampleStore(graph.n) for _ in range(lanes)
+        ]
+        #: Whether this session was thawed from a checkpoint.
+        self.resumed = False
+        #: Checkpoints written across the session's whole lineage
+        #: (restored counts included).
+        self.checkpoints_written = 0
+        #: Samples drawn through *this* process's session object —
+        #: excludes anything already present at attach/resume time.
+        self.samples_drawn = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        """Number of ``(engine, store)`` pairs."""
+        return len(self.engines)
+
+    @property
+    def total_samples(self) -> int:
+        """Samples held across all lanes (reused + drawn)."""
+        return sum(store.num_paths for store in self.stores)
+
+    def store(self, lane: int = 0) -> SampleStore:
+        """The sample store of one lane."""
+        return self.stores[lane]
+
+    def extend(self, upto: int, lane: int = 0) -> int:
+        """Grow lane ``lane`` to hold ``upto`` samples; returns the
+        number actually drawn (0 when the store already suffices —
+        the monotone-reuse path of warm-started sweeps)."""
+        store = self.stores[lane]
+        before = store.num_paths
+        self.engines[lane].extend(store, upto)
+        drawn = store.num_paths - before
+        if drawn:
+            store.record_extend(int(upto))
+            self.samples_drawn += drawn
+            self.telemetry.count("session.samples_drawn", drawn)
+        self.telemetry.count("session.extend_calls", 1)
+        return drawn
+
+    def flush_coverage(self) -> None:
+        """Fold any outstanding CSR-rebuild counters of the stores into
+        their engines' stats (rebuilds triggered by greedy passes after
+        the last extend would otherwise go unreported)."""
+        for engine, store in zip(self.engines, self.stores):
+            engine._flush_coverage(store)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str, state: dict | None = None) -> str:
+        """Freeze every lane (stores + RNG states) and ``state`` to
+        ``path``; returns ``path``.  Atomic — an existing file is
+        replaced only once the new snapshot is fully written."""
+        self.flush_coverage()
+        self.checkpoints_written += 1
+        meta = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "lanes": self.lanes,
+            "graph": _graph_fingerprint(self.graph),
+            "provenance": dict(self.provenance),
+            "rng_states": [engine.rng_state() for engine in self.engines],
+            "num_paths": [store.num_paths for store in self.stores],
+            "checkpoints": self.checkpoints_written,
+            "state": state,
+        }
+        arrays = {"meta": np.asarray(json.dumps(meta))}
+        for lane, store in enumerate(self.stores):
+            for key, value in store.export_arrays().items():
+                arrays[f"lane{lane}_{key}"] = value
+        with self.telemetry.span("checkpoint", path=path, lanes=self.lanes):
+            _atomic_savez(path, **arrays)
+        self.telemetry.count("session.checkpoints", 1)
+        return path
+
+    @staticmethod
+    def peek(path: str) -> dict:
+        """The JSON ``meta`` blob of a checkpoint, without the arrays.
+
+        Lets callers (the CLI ``resume`` command) learn which
+        algorithm, parameters, and graph produced a checkpoint before
+        committing to loading it.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(str(payload["meta"]))
+        except (OSError, KeyError, ValueError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+        if meta.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(f"{path!r} is not a session checkpoint")
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {meta.get('version')!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return meta
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        graph: CSRGraph,
+        *,
+        telemetry=None,
+        debug: bool = False,
+    ) -> tuple["SamplingSession", dict | None]:
+        """Thaw a checkpoint against ``graph``; returns
+        ``(session, state)`` where ``state`` is the algorithm payload
+        stored at checkpoint time.
+
+        The graph must match the recorded fingerprint (node count,
+        edge count, directedness) — the stores index into it by node
+        id, so resuming on a different graph would silently corrupt
+        results.  Engines are rebuilt from the recorded provenance and
+        their RNG states restored, so the continued stream is
+        bit-identical to the uninterrupted run's.
+        """
+        hub = as_telemetry(telemetry)
+        with hub.span("restore", path=path):
+            meta = cls.peek(path)
+            fingerprint = _graph_fingerprint(graph)
+            if meta["graph"] != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {path!r} was taken on graph "
+                    f"{meta['graph']}, cannot resume on {fingerprint}"
+                )
+            provenance = meta["provenance"]
+            session = cls(
+                graph,
+                lanes=meta["lanes"],
+                seed=0,  # placeholder streams, overwritten below
+                engine=provenance["engine"],
+                method=provenance["method"],
+                include_endpoints=provenance["include_endpoints"],
+                workers=provenance["workers"],
+                kernel=provenance["kernel"],
+                cache_sources=provenance["cache_sources"],
+                telemetry=hub,
+                debug=debug,
+            )
+            try:
+                with np.load(path, allow_pickle=False) as payload:
+                    stores = [
+                        SampleStore.from_arrays(
+                            graph.n,
+                            {
+                                key: payload[f"lane{lane}_{key}"]
+                                for key in ("flat", "offsets", "degrees",
+                                            "schedule")
+                            },
+                        )
+                        for lane in range(meta["lanes"])
+                    ]
+            except (OSError, KeyError, ValueError) as exc:
+                session.close()
+                raise CheckpointError(
+                    f"cannot load checkpoint {path!r}: {exc}"
+                )
+            for engine, store, rng_state, expected in zip(
+                session.engines, stores, meta["rng_states"], meta["num_paths"]
+            ):
+                if store.num_paths != expected:
+                    session.close()
+                    raise CheckpointError(
+                        "corrupt checkpoint: lane path-count mismatch"
+                    )
+                engine.set_rng_state(rng_state)
+            session.stores = stores
+            session.resumed = True
+            session.checkpoints_written = int(meta.get("checkpoints", 0))
+        hub.count("session.restores", 1)
+        return session, meta.get("state")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every lane's engine resources; idempotent."""
+        for engine in self.engines:
+            engine.close()
+
+    def __enter__(self) -> "SamplingSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SamplingSession(lanes={self.lanes}, "
+            f"engine={self.provenance['engine']!r}, "
+            f"samples={self.total_samples}, resumed={self.resumed})"
+        )

@@ -1,0 +1,173 @@
+"""The persistent half of a sampling session: :class:`SampleStore`.
+
+A :class:`~repro.coverage.CoverageInstance` is the in-memory incidence
+between sampled paths and nodes; a :class:`SampleStore` is the same
+structure *promoted to first-class, persistable state*.  It remembers
+the draw schedule that grew it (the sequence of ``extend`` targets) and
+serializes to a single ``.npz`` snapshot that also carries the engine
+RNG state and provenance needed to resume the stream bit-identically:
+
+* the flat path arrays (``flat``, ``offsets``, ``degrees``) — the
+  append-only sample pool itself;
+* the ``schedule`` of extend targets served so far;
+* a JSON ``meta`` blob: node-universe size, the engine's
+  :meth:`~repro.engine.SampleEngine.rng_state`, and the engine
+  provenance (engine/kernel/method/endpoint convention) the samples
+  were drawn under.
+
+The arrays are integers, so a save→load round trip is exact: coverage
+queries, greedy runs, and continued draws on the loaded store behave
+bit-identically to the original.  Snapshots are written atomically
+(temp file + rename), so a crash mid-save never corrupts an existing
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from ..coverage.hypergraph import CoverageInstance
+from ..exceptions import CheckpointError
+
+__all__ = ["SampleStore", "STORE_FORMAT", "STORE_VERSION"]
+
+STORE_FORMAT = "repro-sample-store"
+STORE_VERSION = 1
+
+
+def _atomic_savez(path: str, **arrays) -> None:
+    """Write ``np.savez_compressed(path, **arrays)`` atomically."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SampleStore(CoverageInstance):
+    """An append-only, serializable pool of sampled paths.
+
+    Everything a :class:`~repro.coverage.CoverageInstance` can do, plus
+    the persistence layer described in the module docstring.  The four
+    sampling algorithms operate on stores through a
+    :class:`~repro.session.SamplingSession`, which owns the pairing of
+    each store with the engine whose stream filled it.
+    """
+
+    def __init__(self, num_nodes: int):
+        super().__init__(num_nodes)
+        #: Extend targets served so far, in order — the draw schedule
+        #: provenance a snapshot carries.
+        self.draw_schedule: list[int] = []
+
+    # ------------------------------------------------------------------
+    def record_extend(self, target: int) -> None:
+        """Append one served extend target to the draw schedule."""
+        self.draw_schedule.append(int(target))
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The store's content as compact, copy-safe arrays."""
+        return {
+            "flat": self._flat[: self._flat_len].copy(),
+            "offsets": self._offsets[: self._num_paths + 1].copy(),
+            "degrees": self._degrees.copy(),
+            "schedule": np.asarray(self.draw_schedule, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, num_nodes: int, arrays: dict) -> "SampleStore":
+        """Rebuild a store from :meth:`export_arrays` output."""
+        store = cls(int(num_nodes))
+        flat = np.asarray(arrays["flat"], dtype=np.int64)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        degrees = np.asarray(arrays["degrees"], dtype=np.int64)
+        if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != flat.size:
+            raise CheckpointError("corrupt store snapshot: bad offsets")
+        if degrees.size != store.num_nodes:
+            raise CheckpointError(
+                f"store snapshot is for a {degrees.size}-node universe, "
+                f"not {store.num_nodes}"
+            )
+        capacity = max(64, int(flat.size))
+        store._flat = np.empty(capacity, dtype=np.int64)
+        store._flat[: flat.size] = flat
+        store._flat_len = int(flat.size)
+        store._offsets = np.zeros(max(64, offsets.size), dtype=np.int64)
+        store._offsets[: offsets.size] = offsets
+        store._num_paths = int(offsets.size - 1)
+        store._degrees = degrees
+        store.draw_schedule = [
+            int(t) for t in np.asarray(arrays.get("schedule", ()), dtype=np.int64)
+        ]
+        return store
+
+    # ------------------------------------------------------------------
+    def save(self, path: str, *, rng_state=None, provenance=None) -> None:
+        """Snapshot the store (and its stream context) to ``path``.
+
+        ``rng_state`` is the owning engine's
+        :meth:`~repro.engine.SampleEngine.rng_state` at the moment of
+        the snapshot; ``provenance`` records how the samples were drawn
+        (engine name, kernel, method, endpoint convention, ...).  Both
+        are optional for bare pools but required for bit-identical
+        resumption of a live session.
+        """
+        meta = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "num_nodes": self.num_nodes,
+            "num_paths": self.num_paths,
+            "rng_state": rng_state,
+            "provenance": provenance,
+        }
+        _atomic_savez(
+            path,
+            meta=np.asarray(json.dumps(meta)),
+            **self.export_arrays(),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> tuple["SampleStore", dict]:
+        """Load a snapshot; returns ``(store, meta)``.
+
+        ``meta`` carries the ``rng_state`` and ``provenance`` recorded
+        at save time (both ``None`` for bare pools).
+        """
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(str(payload["meta"]))
+                if meta.get("format") != STORE_FORMAT:
+                    raise CheckpointError(
+                        f"{path!r} is not a sample-store snapshot"
+                    )
+                if meta.get("version") != STORE_VERSION:
+                    raise CheckpointError(
+                        f"unsupported store snapshot version "
+                        f"{meta.get('version')!r} (expected {STORE_VERSION})"
+                    )
+                store = cls.from_arrays(
+                    meta["num_nodes"],
+                    {key: payload[key] for key in
+                     ("flat", "offsets", "degrees", "schedule")},
+                )
+        except CheckpointError:
+            raise
+        except (OSError, KeyError, ValueError) as exc:
+            raise CheckpointError(f"cannot load store snapshot {path!r}: {exc}")
+        if store.num_paths != meta["num_paths"]:
+            raise CheckpointError(
+                "corrupt store snapshot: path count mismatch "
+                f"({store.num_paths} != {meta['num_paths']})"
+            )
+        return store, meta

@@ -1,0 +1,135 @@
+"""Unit tests for :class:`repro.session.SamplingSession`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError, ParameterError
+from repro.graph import barabasi_albert, erdos_renyi
+from repro.obs import Telemetry
+from repro.session import SamplingSession
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert(60, 2, seed=3)
+
+
+class TestLifecycle:
+    def test_lanes_and_stores(self, graph):
+        with SamplingSession(graph, lanes=2, seed=1) as session:
+            assert session.lanes == 2
+            assert session.total_samples == 0
+            assert session.store(0) is not session.store(1)
+
+    def test_extend_grows_and_counts(self, graph):
+        with SamplingSession(graph, seed=1) as session:
+            assert session.extend(50) == 50
+            assert session.extend(30) == 0  # already covered
+            assert session.extend(80) == 30
+            assert session.samples_drawn == 80
+            assert session.store(0).draw_schedule == [50, 80]
+
+    def test_lane_streams_are_independent(self, graph):
+        with SamplingSession(graph, lanes=2, seed=1) as session:
+            session.extend(40, lane=0)
+            session.extend(40, lane=1)
+            a = session.store(0).path(0)
+            b = session.store(1).path(0)
+            assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_at_least_one_lane(self, graph):
+        with pytest.raises(ParameterError):
+            SamplingSession(graph, lanes=0)
+
+    def test_repr_mentions_state(self, graph):
+        with SamplingSession(graph, seed=1) as session:
+            text = repr(session)
+            assert "lanes=1" in text and "resumed=False" in text
+
+
+class TestCheckpointResume:
+    def test_round_trip_restores_everything(self, graph, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, lanes=2, seed=7) as session:
+            session.extend(60, lane=0)
+            session.extend(25, lane=1)
+            session.checkpoint(path, state={"loop": {"q": 3}})
+        thawed, state = SamplingSession.resume(path, graph)
+        with thawed:
+            assert thawed.resumed
+            assert thawed.checkpoints_written == 1
+            assert state == {"loop": {"q": 3}}
+            assert thawed.total_samples == 85
+            assert thawed.store(0).num_paths == 60
+
+    def test_resume_continues_bit_identically(self, graph, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=42) as straight:
+            straight.extend(50)
+            straight.extend(120)
+            reference = [straight.store(0).path(i) for i in range(120)]
+        with SamplingSession(graph, seed=42) as first:
+            first.extend(50)
+            first.checkpoint(path)
+        thawed, _ = SamplingSession.resume(path, graph)
+        with thawed:
+            thawed.extend(120)
+            for i in (0, 49, 50, 119):
+                assert np.array_equal(thawed.store(0).path(i), reference[i])
+
+    def test_peek_reads_meta_without_arrays(self, graph, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, lanes=2, seed=7, engine="serial") as session:
+            session.extend(10)
+            session.checkpoint(path)
+        meta = SamplingSession.peek(path)
+        assert meta["lanes"] == 2
+        assert meta["provenance"]["engine"] == "serial"
+        assert meta["num_paths"] == [10, 0]
+
+    def test_resume_rejects_other_graph(self, graph, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=1) as session:
+            session.extend(5)
+            session.checkpoint(path)
+        other = erdos_renyi(30, 0.2, seed=0)
+        with pytest.raises(CheckpointError):
+            SamplingSession.resume(path, other)
+
+    def test_peek_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, meta=np.asarray('{"format": "something-else"}'))
+        with pytest.raises(CheckpointError):
+            SamplingSession.peek(path)
+
+    def test_checkpoint_count_survives_lineage(self, graph, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=1) as session:
+            session.extend(5)
+            session.checkpoint(path)
+            session.checkpoint(path)
+        thawed, _ = SamplingSession.resume(path, graph)
+        with thawed:
+            thawed.checkpoint(path)
+            assert thawed.checkpoints_written == 3
+
+
+class TestTelemetry:
+    def test_session_counters_and_spans(self, graph, tmp_path):
+        hub = Telemetry()
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=1, telemetry=hub) as session:
+            session.extend(20)
+            session.checkpoint(path)
+        SamplingSession.resume(path, graph, telemetry=hub)[0].close()
+        snapshot = hub.snapshot()
+        counters = snapshot["counters"]
+        assert counters["session.samples_drawn"] == 20
+        assert counters["session.extend_calls"] == 1
+        assert counters["session.checkpoints"] == 1
+        assert counters["session.restores"] == 1
+        span_paths = set(snapshot["spans"])
+        assert any("checkpoint" in path for path in span_paths)
+        assert any("restore" in path for path in span_paths)

@@ -255,3 +255,85 @@ class TestCommands:
         )
         assert code == 0
         assert "group (K=1): [2]" in capsys.readouterr().out
+
+
+def _ba_edge_list(tmp_path):
+    from repro.graph import barabasi_albert, write_edge_list
+
+    path = tmp_path / "ba.txt"
+    write_edge_list(barabasi_albert(80, 2, seed=5), path)
+    return path
+
+
+class TestCheckpointResume:
+    _RUN = ["--algorithm", "adaalg", "-k", "4", "--eps", "0.4",
+            "--gamma", "0.1", "--seed", "11"]
+
+    def test_interrupt_then_resume_matches_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        edge_file = str(_ba_edge_list(tmp_path))
+        base = tmp_path / "base.json"
+        code = main(["run", "--edge-list", edge_file, *self._RUN,
+                     "--json", str(base)])
+        assert code == 0
+
+        ck = tmp_path / "ck.npz"
+        code = main(["run", "--edge-list", edge_file, *self._RUN,
+                     "--checkpoint", str(ck), "--stop-after-checkpoints", "1"])
+        assert code == 3
+        assert ck.exists()
+        assert "interrupted" in capsys.readouterr().err
+
+        resumed = tmp_path / "resumed.json"
+        code = main(["resume", str(ck), "--json", str(resumed)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert "resumed     : True" in out
+        assert resumed.read_bytes() == base.read_bytes()
+
+    def test_checkpointed_run_output_unperturbed(self, tmp_path, capsys):
+        edge_file = str(_ba_edge_list(tmp_path))
+        base = tmp_path / "base.json"
+        noisy = tmp_path / "noisy.json"
+        assert main(["run", "--edge-list", edge_file, *self._RUN,
+                     "--json", str(base)]) == 0
+        assert main(["run", "--edge-list", edge_file, *self._RUN,
+                     "--checkpoint", str(tmp_path / "ck.npz"),
+                     "--json", str(noisy)]) == 0
+        assert noisy.read_bytes() == base.read_bytes()
+        payload = json.loads(base.read_text())
+        assert payload["algorithm"] == "AdaAlg"
+        assert "elapsed_seconds" not in payload  # keeps runs diffable
+
+    def test_resume_rejects_library_checkpoint(self, tmp_path):
+        from repro.exceptions import CheckpointError
+        from repro.graph import barabasi_albert
+        from repro.session import SamplingSession
+
+        path = str(tmp_path / "lib.npz")
+        with SamplingSession(barabasi_albert(30, 2, seed=0), seed=1) as s:
+            s.extend(10)
+            s.checkpoint(path)
+        with pytest.raises(CheckpointError):
+            main(["resume", path])
+
+    def test_checkpoint_flags_require_sampling_algorithm(self, tmp_path):
+        edge_file = str(_star_edge_list(tmp_path))
+        with pytest.raises(SystemExit):
+            main(["run", "--edge-list", edge_file, "--algorithm", "puzis",
+                  "-k", "2", "--checkpoint", str(tmp_path / "ck.npz")])
+
+    def test_parser_knows_new_surface(self):
+        args = build_parser().parse_args(
+            ["experiment", "sweep-warmstart", "--reuse-sessions"]
+        )
+        assert args.name == "sweep-warmstart"
+        assert args.reuse_sessions
+        args = build_parser().parse_args(
+            ["run", "--dataset", "GrQc", "--checkpoint", "c.npz",
+             "--checkpoint-every", "3"]
+        )
+        assert args.checkpoint == "c.npz"
+        assert args.checkpoint_every == 3
