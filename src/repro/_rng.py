@@ -9,12 +9,17 @@ generators so that parallel components never share a stream.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+#: Anything a ``seed=`` parameter accepts anywhere in the package.
+SeedLike: TypeAlias = (
+    "int | np.random.Generator | np.random.SeedSequence | None"
+)
 
 
-def as_generator(seed=None) -> np.random.Generator:
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None``, an ``int``, a ``SeedSequence``, or an

@@ -304,7 +304,9 @@ class AdaAlg(SamplingAlgorithm):
             },
         )
 
-    def _capped_run(self, session, k: int, pairs: int) -> tuple[list[int], float, float]:
+    def _capped_run(
+        self, session, k: int, pairs: int
+    ) -> tuple[list[int], float, float]:
         """One greedy pass on ``max_samples`` paths when the schedule's
         very first target already exceeds the cap.
 

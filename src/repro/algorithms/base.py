@@ -9,7 +9,6 @@ the paper's headline comparison metric (Figs. 4–5).
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,7 +17,7 @@ from .._rng import as_generator, spawn
 from ..engine import ENGINES, KERNELS, SampleEngine, coverage_nodes, create_engine
 from ..exceptions import CheckpointError, ParameterError, SessionInterrupted
 from ..graph.csr import CSRGraph
-from ..obs import as_telemetry
+from ..obs import as_telemetry, monotonic
 from ..paths.sampler import PathSample
 from ..session import SamplingSession
 
@@ -440,4 +439,6 @@ class SamplingAlgorithm(GBCAlgorithm):
 
     @staticmethod
     def _timer() -> float:
-        return time.perf_counter()
+        # elapsed-time reporting goes through the repro.obs clock seam
+        # (determinism rule RPR101) — never algorithm control flow
+        return monotonic()

@@ -45,9 +45,9 @@ class BruteForce(GBCAlgorithm):
                 f"C({graph.n}, {k}) = {total_subsets} subsets exceeds "
                 f"max_subsets={self.max_subsets}"
             )
-        import time
+        from ..obs import monotonic
 
-        start = time.perf_counter()
+        start = monotonic()
         dist, sigma = all_pairs_sigma(graph)
         connected = dist >= 0
         np.fill_diagonal(connected, False)
@@ -68,7 +68,7 @@ class BruteForce(GBCAlgorithm):
             num_samples=0,
             iterations=total_subsets,
             converged=True,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=monotonic() - start,
         )
 
     @staticmethod
@@ -87,4 +87,5 @@ class BruteForce(GBCAlgorithm):
             through = sigma_c[:, v][:, None] * sigma_c[v, :][None, :]
             sigma_c -= np.where(on_path, through, 0.0)
         remaining = sigma_c / safe_sigma
-        return float((base_fraction - np.where(base_fraction > 0, remaining, 0.0)).sum())
+        reduced = np.where(base_fraction > 0, remaining, 0.0)
+        return float((base_fraction - reduced).sum())

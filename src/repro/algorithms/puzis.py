@@ -58,7 +58,8 @@ class PuzisGreedy(GBCAlgorithm):
         self._validate(graph, k)
         if graph.n > self.max_nodes:
             raise ParameterError(
-                f"PuzisGreedy is O(K n^3); n={graph.n} exceeds max_nodes={self.max_nodes}"
+                f"PuzisGreedy is O(K n^3); n={graph.n} exceeds "
+                f"max_nodes={self.max_nodes}"
             )
         start = self._timer()
 
@@ -100,9 +101,9 @@ class PuzisGreedy(GBCAlgorithm):
 
     @staticmethod
     def _timer() -> float:
-        import time
+        from ..obs import monotonic
 
-        return time.perf_counter()
+        return monotonic()
 
     @staticmethod
     def _on_path_mask(v: int, dist: np.ndarray) -> np.ndarray:

@@ -1,0 +1,63 @@
+"""Project-specific static analysis (``repro.checks``).
+
+An AST-based lint pass enforcing the conventions the repository's
+determinism guarantees rest on: RNG hygiene (``RPR0xx``), determinism
+(``RPR1xx``), cross-process safety (``RPR2xx``), telemetry discipline
+(``RPR3xx``), and exception policy (``RPR4xx``).  Run it with
+``python -m repro.checks src/repro`` or ``repro-gbc check``; the CI
+``checks`` step fails the build on any finding.  Rules, rationale, and
+the suppression syntax are documented in ``docs/static-analysis.md``.
+
+Programmatic use::
+
+    from repro.checks import run_checks
+    report = run_checks(["src/repro"])
+    assert report.ok, [f.render() for f in report.findings]
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Report,
+    Rule,
+    check_file,
+    check_source,
+    run_checks,
+)
+from .registry import PARSE_ERROR_ID, RULES, all_rules, register
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "ModuleContext",
+    "check_source",
+    "check_file",
+    "run_checks",
+    "RULES",
+    "PARSE_ERROR_ID",
+    "register",
+    "all_rules",
+    "rule_ids",
+]
+
+
+def _load_rules() -> None:
+    """Import every rule module (registration is an import side effect)."""
+    from . import (  # noqa: F401  (imported for registration)
+        rules_determinism,
+        rules_exceptions,
+        rules_process,
+        rules_rng,
+        rules_telemetry,
+    )
+
+
+_load_rules()
+
+
+def rule_ids() -> list[str]:
+    """Every registered rule ID, sorted."""
+    return sorted(RULES)

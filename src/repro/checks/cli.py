@@ -1,0 +1,97 @@
+"""Command-line front end of the checker.
+
+Two spellings, one implementation: ``python -m repro.checks`` and
+``repro-gbc check`` both land in :func:`run_cli`.
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage errors
+(argparse).  Parse failures of *checked* files are reported as
+``RPR000`` findings (exit ``1``), not crashes — a broken file in the
+tree is a finding like any other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core import Report, run_checks
+from .registry import all_rules
+
+__all__ = ["main", "run_cli", "build_parser", "render_text", "render_json"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-checks",
+        description=(
+            "Project-specific static analysis: determinism, RNG hygiene, "
+            "cross-process safety, telemetry and exception discipline "
+            "(see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def render_text(report: Report) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = (
+        f"{len(report.findings)} {noun} in {report.files_checked} file(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """The stable machine-readable report (schema ``version`` 1)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def _render_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.id} {cls.name}")
+        lines.append(f"    {cls.rationale}")
+    return "\n".join(lines)
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed invocation; returns the process exit code."""
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    report = run_checks(args.paths)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.checks``."""
+    return run_cli(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

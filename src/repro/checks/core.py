@@ -1,0 +1,387 @@
+"""Visitor core of the :mod:`repro.checks` static-analysis pass.
+
+One parse per file, one AST walk per file: :func:`check_source` builds
+a :class:`ModuleContext` (dotted module name, alias-resolved imports,
+per-line suppressions, parent links), instantiates every registered
+rule, and dispatches each AST node to the rules that declared a
+``visit_<NodeType>`` handler.  Rules are tiny classes — they inspect a
+node, consult the context, and call :meth:`Rule.report`.
+
+Suppressions are real comments only (extracted with :mod:`tokenize`,
+so string literals that merely *mention* the magic comment do not
+suppress anything).  The comment form is ``repro: noqa`` after a
+``#``, optionally followed by ``[RPR001, RPR202]`` to silence specific
+rules; without a bracket list it silences every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import PARSE_ERROR_ID, RULES, all_rules
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "ModuleContext",
+    "check_source",
+    "check_file",
+    "run_checks",
+    "iter_python_files",
+    "module_name_for",
+    "qualified_name",
+]
+
+# Built from pieces so the checker's own source never contains a
+# working suppression comment (the repo-level acceptance bar is zero
+# suppressions anywhere in src/).
+_NOQA_RE = re.compile(
+    "repro:" + r"\s*" + "noqa" + r"(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+#: Suppression marker meaning "every rule on this line".
+_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    name: str
+    message: str
+    path: str
+    line: int
+    col: int
+    module: str
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (the ``--format json`` row schema)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "module": self.module,
+        }
+
+    def render(self) -> str:
+        """The human one-liner: ``path:line:col: RPRnnn message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Report:
+    """Outcome of one :func:`run_checks` invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the checked tree is clean."""
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        """The stable JSON output schema (``version`` bumps on change)."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+class ModuleContext:
+    """Everything the rules may ask about the module being checked."""
+
+    def __init__(self, source: str, module: str, path: str):
+        self.source = source
+        self.module = module
+        self.path = path
+        #: local alias -> fully qualified dotted name, from the
+        #: module's import statements (``np`` -> ``numpy``,
+        #: ``perf_counter`` -> ``time.perf_counter``).
+        self.imports: dict[str, str] = {}
+        #: line number -> set of suppressed rule IDs (or ``"*"``).
+        self.suppressions: dict[int, set[str]] = {}
+        self.suppressed_hits = 0
+
+    # ------------------------------------------------------------------
+    def in_module(self, *dotted: str) -> bool:
+        """Whether the module is one of ``dotted`` or inside one of them
+        (``in_module("repro.obs")`` matches ``repro.obs.telemetry``)."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in dotted
+        )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Alias-resolved dotted name of an expression, if it has one."""
+        return qualified_name(node, self.imports)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        suppressed = self.suppressions.get(line)
+        if suppressed is None:
+            return False
+        return _ALL in suppressed or rule_id in suppressed
+
+    # ------------------------------------------------------------------
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+
+    def _absolute_base(self, node: ast.ImportFrom) -> str | None:
+        """The absolute module a ``from ... import`` pulls from."""
+        if node.level == 0:
+            return node.module
+        parts = self.module.split(".")
+        # ``from . import x`` inside pkg.mod drops 1 part for the module
+        # itself plus (level - 1) parents; packages (__init__) keep one
+        # more, but module names computed here never end in __init__.
+        if node.level > len(parts):
+            return node.module
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else node.module
+
+    def _collect_suppressions(self) -> None:
+        reader = io.StringIO(self.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            if listed is None:
+                rules = {_ALL}
+            else:
+                rules = {part.strip() for part in listed.split(",") if part.strip()}
+            self.suppressions.setdefault(token.start[0], set()).update(rules)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id` (stable ``RPRnnn``), :attr:`name` (short
+    kebab-case slug), and :attr:`rationale` (the invariant the rule
+    guards, rendered by ``--list-rules`` and the docs), then implement
+    ``visit_<NodeType>`` methods for the AST nodes they care about.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node`` unless suppressed on its line."""
+        line = getattr(node, "lineno", 1)
+        if self.ctx.is_suppressed(self.id, line):
+            self.ctx.suppressed_hits += 1
+            return
+        self.findings.append(
+            Finding(
+                rule=self.id,
+                name=self.name,
+                message=message,
+                path=self.ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                module=self.ctx.module,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# expression helpers shared by the rule modules
+# ----------------------------------------------------------------------
+def qualified_name(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Dotted name of an attribute/name chain, aliases resolved.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; chains not rooted in a plain name (calls,
+    subscripts) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def trailing_identifier(node: ast.AST) -> str | None:
+    """The last identifier of an expression (``self.telemetry`` ->
+    ``telemetry``; ``hub`` -> ``hub``), or ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Give every node a ``_repro_parent`` link for upward walks."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    """The parent set by :func:`attach_parents` (``None`` at the root)."""
+    return getattr(node, "_repro_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> ast.AST | None:
+    """The innermost function/lambda strictly containing ``node``."""
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return current
+        current = parent_of(current)
+    return None
+
+
+# ----------------------------------------------------------------------
+# the walk
+# ----------------------------------------------------------------------
+def check_source(
+    source: str,
+    module: str = "<string>",
+    path: str = "<string>",
+    rules: list[type[Rule]] | None = None,
+) -> tuple[list[Finding], int]:
+    """Check one module's source; returns ``(findings, suppressed)``.
+
+    ``module`` is the dotted module name the allowlists are matched
+    against; fixture tests pass e.g. ``"repro.paths.sampler"`` to
+    exercise scope-sensitive rules on synthetic snippets.
+    """
+    ctx = ModuleContext(source, module, path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR_ID,
+            name="parse-error",
+            message=f"file could not be parsed: {exc.msg}",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            module=module,
+        )
+        return [finding], 0
+    ctx._collect_imports(tree)
+    ctx._collect_suppressions()
+    attach_parents(tree)
+
+    active = [cls(ctx) for cls in (rules if rules is not None else all_rules())]
+    dispatch: dict[str, list[tuple[Rule, object]]] = {}
+    for rule in active:
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                dispatch.setdefault(attr[len("visit_") :], []).append(
+                    (rule, getattr(rule, attr))
+                )
+
+    for node in ast.walk(tree):
+        for _rule, handler in dispatch.get(type(node).__name__, ()):
+            handler(node)
+
+    findings = [f for rule in active for f in rule.findings]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, ctx.suppressed_hits
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, found by walking up through
+    ``__init__.py`` package directories."""
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:  # filesystem root
+            break
+        current = parent
+    return ".".join(reversed(parts))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def check_file(
+    path: Path, rules: list[type[Rule]] | None = None
+) -> tuple[list[Finding], int]:
+    """Check one file on disk (see :func:`check_source`)."""
+    source = Path(path).read_text(encoding="utf-8")
+    return check_source(
+        source, module=module_name_for(Path(path)), path=str(path), rules=rules
+    )
+
+
+def run_checks(
+    paths: list[str | Path], rules: list[type[Rule]] | None = None
+) -> Report:
+    """Run every registered rule over ``paths`` (files or directories)."""
+    # importing the package registers the rules; guard against a caller
+    # reaching core.run_checks directly before repro.checks loaded them
+    if rules is None and not RULES:  # pragma: no cover - defensive
+        from . import _load_rules
+
+        _load_rules()
+    report = Report()
+    for path in iter_python_files(paths):
+        findings, suppressed = check_file(path, rules=rules)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

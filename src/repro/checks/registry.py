@@ -1,0 +1,69 @@
+"""The rule registry: stable IDs, one class per rule.
+
+Every rule registers itself with :func:`register` under a stable ID of
+the form ``RPR`` + three digits.  IDs are grouped by the invariant
+family they guard:
+
+* ``RPR0xx`` — RNG hygiene (all randomness flows through
+  :mod:`repro._rng`);
+* ``RPR1xx`` — determinism (no hidden inputs: clocks, unordered
+  iteration);
+* ``RPR2xx`` — cross-process safety (picklable tasks, immutable shared
+  arrays);
+* ``RPR3xx`` — telemetry discipline (registered counter/event names);
+* ``RPR4xx`` — exception policy (:mod:`repro.exceptions` types for
+  validation).
+
+``RPR000`` is reserved for files the checker cannot parse.  IDs are
+append-only: a retired rule's ID is never reused, so suppression
+comments and CI configurations stay meaningful across versions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from ..exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Rule
+
+__all__ = ["RULES", "PARSE_ERROR_ID", "register", "all_rules"]
+
+#: Reserved ID attached to findings for unparseable files.
+PARSE_ERROR_ID = "RPR000"
+
+#: ``rule id -> rule class``, populated by :func:`register` as the
+#: rule modules are imported (:mod:`repro.checks` imports them all).
+RULES: dict[str, type["Rule"]] = {}
+
+_ID_PATTERN = re.compile(r"^RPR\d{3}$")
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to :data:`RULES`.
+
+    Enforces the ID contract at import time: well-formed, not the
+    reserved parse-error ID, and never colliding with an already
+    registered rule.
+    """
+    rule_id = getattr(cls, "id", "")
+    if not _ID_PATTERN.match(rule_id):
+        raise ParameterError(f"rule id {rule_id!r} does not match RPRnnn")
+    if rule_id == PARSE_ERROR_ID:
+        raise ParameterError(f"{PARSE_ERROR_ID} is reserved for parse errors")
+    if rule_id in RULES and RULES[rule_id] is not cls:
+        raise ParameterError(
+            f"rule id {rule_id} already registered by "
+            f"{RULES[rule_id].__name__}"
+        )
+    if not getattr(cls, "name", ""):
+        raise ParameterError(f"rule {rule_id} must define a short name")
+    RULES[rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[type["Rule"]]:
+    """Every registered rule class, in ID order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]

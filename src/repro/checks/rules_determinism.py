@@ -1,0 +1,179 @@
+"""Determinism rules (``RPR1xx``).
+
+Bit-identical replay — across engines, worker counts, kernels, and
+checkpoint/resume — is the repository's headline contract (see
+``tests/session/test_resume_determinism.py``).  It dies from hidden
+inputs: a clock read that steers control flow, an iteration over a
+hash-ordered container, an order-dependent pop.  These rules reject
+the syntactic forms those bugs arrive in.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import ModuleContext, Rule
+from .registry import register
+
+__all__ = ["WallClock", "SetIteration", "OrderDependentPop"]
+
+#: The only package allowed to read clocks (the telemetry hub and the
+#: :mod:`repro.obs.clock` reporting seam).
+CLOCK_MODULE = "repro.obs"
+
+#: Clock reads rejected outside :data:`CLOCK_MODULE`.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Packages whose modules are "hot": they run inside the sampling loop,
+#: so unordered iteration there changes which samples are drawn.
+HOT_MODULES = (
+    "repro.paths",
+    "repro.engine",
+    "repro.coverage",
+    "repro.algorithms",
+    "repro.session",
+)
+
+#: Builtins whose output order follows their (set-typed) argument.
+_ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_setish(node: ast.AST) -> bool:
+    """Whether an expression is syntactically a set (literal,
+    comprehension, or ``set()``/``frozenset()`` call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _in_hot_module(ctx: ModuleContext) -> bool:
+    return ctx.in_module(*HOT_MODULES)
+
+
+@register
+class WallClock(Rule):
+    """Clock reads outside :mod:`repro.obs`."""
+
+    id = "RPR101"
+    name = "wall-clock"
+    rationale = (
+        "A clock read in sampling or algorithm code is a hidden input: "
+        "anything derived from it (budgets, early exits, tie-breaks) "
+        "varies run to run, breaking bit-identical replay and resume. "
+        "Elapsed-time reporting goes through repro.obs.monotonic, "
+        "keeping every clock read in one auditable module."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.in_module(CLOCK_MODULE):
+            return
+        dotted = self.ctx.resolve(node.func)
+        if dotted in _CLOCK_CALLS:
+            self.report(
+                node,
+                f"clock read ({dotted}) outside {CLOCK_MODULE}; use "
+                f"{CLOCK_MODULE}.monotonic (reporting only) or a "
+                "telemetry span",
+            )
+
+
+@register
+class SetIteration(Rule):
+    """Hash-ordered iteration in hot sampling modules."""
+
+    id = "RPR102"
+    name = "set-iteration"
+    rationale = (
+        "Iterating a set yields hash order, which varies with "
+        "PYTHONHASHSEED and insertion history; in the hot sampling "
+        "modules that reorders draws and greedy tie-breaks. Iterate "
+        "sorted(...) or keep an explicit list."
+    )
+
+    _ADVICE = "; iterate sorted(...) or keep an ordered container"
+
+    def visit_For(self, node: ast.For) -> None:
+        if _in_hot_module(self.ctx) and _is_setish(node.iter):
+            self.report(
+                node, "for-loop over a set has no defined order" + self._ADVICE
+            )
+
+    def _check_generators(self, node: ast.AST) -> None:
+        if not _in_hot_module(self.ctx):
+            return
+        for comp in getattr(node, "generators", ()):
+            if _is_setish(comp.iter):
+                self.report(
+                    node,
+                    "comprehension over a set has no defined order"
+                    + self._ADVICE,
+                )
+
+    visit_ListComp = _check_generators
+    visit_SetComp = _check_generators
+    visit_DictComp = _check_generators
+    visit_GeneratorExp = _check_generators
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not _in_hot_module(self.ctx):
+            return
+        if not (isinstance(node.func, ast.Name) and node.args):
+            return
+        if node.func.id in _ORDER_SENSITIVE_WRAPPERS and _is_setish(
+            node.args[0]
+        ):
+            self.report(
+                node,
+                f"{node.func.id}(...) over a set has no defined order"
+                + self._ADVICE,
+            )
+
+
+@register
+class OrderDependentPop(Rule):
+    """Pops whose result depends on container ordering."""
+
+    id = "RPR103"
+    name = "order-dependent-pop"
+    rationale = (
+        "dict.popitem() and set.pop() return an arbitrary-order element; "
+        "any algorithmic decision built on them is irreproducible. "
+        "OrderedDict.popitem(last=...) states its order explicitly and "
+        "is allowed."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.args or node.keywords:
+            return  # popitem(last=False) / pop(key) are explicit
+        if node.func.attr == "popitem":
+            self.report(
+                node,
+                "bare popitem() pops in container order; pass last=... on "
+                "an OrderedDict or pop an explicit key",
+            )
+        elif node.func.attr == "pop" and _is_setish(node.func.value):
+            self.report(
+                node,
+                "set.pop() removes an arbitrary element; pop from a "
+                "sorted or explicitly ordered container",
+            )

@@ -1,0 +1,50 @@
+"""Exception policy rule (``RPR4xx``).
+
+Public :mod:`repro` entry points promise a single catchable hierarchy:
+everything the library raises derives from
+:class:`repro.exceptions.ReproError` (``ParameterError`` for bad
+arguments, ``GraphError`` for malformed graphs, ...).  A bare
+``ValueError`` from one validation path breaks ``except ReproError``
+callers and the CLI's error rendering; this rule keeps the hierarchy
+airtight.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Rule
+from .registry import register
+
+__all__ = ["BareBuiltinRaise"]
+
+#: Builtin exception types library code may not raise directly.
+_FORBIDDEN = frozenset({"ValueError", "RuntimeError"})
+
+
+@register
+class BareBuiltinRaise(Rule):
+    """``raise ValueError/RuntimeError`` instead of repro.exceptions."""
+
+    id = "RPR401"
+    name = "bare-builtin-raise"
+    rationale = (
+        "Callers catch ReproError to handle every library failure; a "
+        "bare ValueError/RuntimeError escapes that net. Validation "
+        "raises ParameterError/GraphError, algorithm failures raise "
+        "AlgorithmError/EngineError (ParameterError subclasses "
+        "ValueError, so duck-typed callers keep working)."
+    )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in _FORBIDDEN:
+            self.report(
+                node,
+                f"raise of builtin {exc.id}; use a repro.exceptions type "
+                "(ParameterError, GraphError, AlgorithmError, ...)",
+            )

@@ -1,0 +1,184 @@
+"""Cross-process safety rules (``RPR2xx``).
+
+The process-pool engine ships work to ``spawn``-started workers and
+shares the CSR graph through named shared-memory segments
+(:mod:`repro.engine.shm`).  Two conventions keep that sound: submitted
+callables must be picklable module-level functions (lambdas and
+closures die at submission time — or worse, only under ``spawn`` on
+another platform), and the shared arrays are immutable — a worker
+writing through an attached view corrupts every sibling's graph with
+no exception raised anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Rule, enclosing_function, qualified_name
+from .registry import register
+
+__all__ = ["UnpicklableTask", "SharedArrayMutation"]
+
+#: Executor methods whose first argument travels across the process
+#: boundary and therefore must pickle.
+_SUBMIT_METHODS = frozenset(
+    {"submit", "map", "apply", "apply_async", "imap", "imap_unordered"}
+)
+
+#: Pool constructors whose callable keywords must pickle.
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "ProcessPoolExecutor",
+        "multiprocessing.Pool",
+    }
+)
+
+#: Names of the CSR/store arrays exported into shared memory
+#: (:meth:`repro.graph.csr.CSRGraph.export_arrays` keys and their
+#: weighted variants).
+SHARED_ARRAY_NAMES = frozenset(
+    {"indptr", "indices", "rev_indptr", "rev_indices", "weights", "rev_weights"}
+)
+
+#: Modules that own those arrays and may legitimately build/fill them.
+ARRAY_OWNERS = (
+    "repro.graph.csr",
+    "repro.graph.weighted",
+    "repro.graph.build",
+    "repro.engine.shm",
+)
+
+
+def _nested_function_names(func: ast.AST) -> set[str]:
+    """Names of functions defined strictly inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+@register
+class UnpicklableTask(Rule):
+    """Lambdas/closures handed to a process pool."""
+
+    id = "RPR201"
+    name = "unpicklable-task"
+    rationale = (
+        "Callables submitted to a process pool are pickled into the "
+        "worker; lambdas and functions defined inside another function "
+        "cannot be, so they fail at submission time — and only on "
+        "spawn-start platforms, making the bug environment-dependent. "
+        "Submit module-level functions."
+    )
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} handed to a process pool cannot pickle; use a "
+            "module-level function",
+        )
+
+    def _check_callable(self, arg: ast.AST, call: ast.Call) -> None:
+        if isinstance(arg, ast.Lambda):
+            self._flag(call, "lambda")
+            return
+        if isinstance(arg, ast.Name):
+            enclosing = enclosing_function(call)
+            if enclosing is not None and arg.id in _nested_function_names(
+                enclosing
+            ):
+                self._flag(call, f"nested function {arg.id!r}")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SUBMIT_METHODS
+            and node.args
+        ):
+            self._check_callable(node.args[0], node)
+        dotted = qualified_name(node.func, self.ctx.imports)
+        if dotted in _POOL_CONSTRUCTORS:
+            for keyword in node.keywords:
+                if keyword.value is not None and isinstance(
+                    keyword.value, ast.Lambda
+                ):
+                    self._flag(node, f"lambda {keyword.arg or 'argument'}")
+
+
+@register
+class SharedArrayMutation(Rule):
+    """Writes to shm-backed CSR arrays outside their owning modules."""
+
+    id = "RPR202"
+    name = "shared-array-mutation"
+    rationale = (
+        "The CSR arrays (indptr/indices/...) are shared zero-copy with "
+        "every pool worker through repro.engine.shm; a write through any "
+        "view corrupts all siblings' graph silently. Only the graph "
+        "constructors and the shm copy loop may fill them — everyone "
+        "else treats them as frozen (debug=True enforces it at runtime "
+        "via writeable=False)."
+    )
+
+    def _is_shared_target(self, target: ast.AST) -> str | None:
+        """The shared-array name a write target stores *through*.
+
+        Matches ``x.indptr[...] = v`` and ``x.indptr += v`` — writes
+        into an array reached through an attribute named like a CSR
+        export.  Plain rebinding (``self.indptr = indptr``, the
+        constructor-holder pattern) and bare local names that merely
+        collide (a local ``weights`` probability vector) are not
+        mutations of shared state and stay legal.
+        """
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in SHARED_ARRAY_NAMES:
+            return target.attr
+        return None
+
+    def _flag(self, node: ast.AST, name: str) -> None:
+        self.report(
+            node,
+            f"mutation of shared CSR array {name!r} outside its owning "
+            f"modules ({', '.join(ARRAY_OWNERS)}); copy before writing",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.ctx.in_module(*ARRAY_OWNERS):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = self._is_shared_target(target)
+                if name is not None:
+                    self._flag(node, name)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.ctx.in_module(*ARRAY_OWNERS):
+            return
+        name = self._is_shared_target(node.target)
+        if name is not None:
+            self._flag(node, name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.in_module(*ARRAY_OWNERS):
+            return
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+        ):
+            return
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "write"
+                and isinstance(keyword.value, ast.Constant)
+                and bool(keyword.value.value)
+            ):
+                self.report(
+                    node,
+                    "setflags(write=True) re-enables writes on a shared "
+                    "array view; exported CSR arrays stay read-only",
+                )

@@ -18,6 +18,10 @@ Subcommands
     optionally exporting the rows (``--output result.csv|.json``).
 ``datasets``
     List the Table I registry.
+``check``
+    Run the project's static-analysis pass (:mod:`repro.checks`) over
+    source trees — determinism, RNG hygiene, cross-process safety,
+    telemetry and exception discipline.  Exit 1 on any finding.
 
 Exit codes: 0 success, 3 when ``--stop-after-checkpoints`` interrupted
 the run on purpose (the checkpoint is ready to ``resume``).
@@ -34,6 +38,7 @@ Examples
     repro-gbc compare --dataset GrQc -k 20
     repro-gbc experiment fig4 --preset smoke --output fig4.csv
     repro-gbc datasets
+    repro-gbc check src/repro --format json
 """
 
 from __future__ import annotations
@@ -308,6 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("datasets", help="list the Table I dataset registry")
+
+    check = sub.add_parser(
+        "check",
+        help="run the static-analysis pass (determinism / RNG hygiene / "
+        "cross-process safety rules)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
     return parser
 
 
@@ -618,6 +647,14 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    # imported lazily: the checker is pure stdlib + the obs registry,
+    # but most CLI invocations never need it
+    from .checks.cli import run_cli
+
+    return run_cli(args)
+
+
 def _cmd_datasets(_args) -> int:
     rows = [
         [
@@ -647,6 +684,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -57,10 +57,16 @@ class CoverageInstance:
         Number of paths added so far, nulls included.
     """
 
-    def __init__(self, num_nodes: int):
+    def __init__(self, num_nodes: int, *, debug: bool = False):
         if num_nodes < 0:
             raise ParameterError("num_nodes must be non-negative")
         self.num_nodes = num_nodes
+        #: Runtime half of the static RPR202 rule: under ``debug=True``
+        #: every array escaping this instance (:meth:`path`,
+        #: :meth:`paths_through_array`, exported snapshots) is returned
+        #: with ``writeable=False``, so an accidental in-place write by
+        #: a caller raises instead of silently corrupting the pool.
+        self.debug = bool(debug)
         self._flat = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._flat_len = 0
         self._offsets = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
@@ -74,6 +80,19 @@ class CoverageInstance:
         # (surfaced as EngineStats.coverage_* and telemetry coverage.*)
         self.rebuilds = 0
         self.rebuilt_elements = 0
+
+    # ------------------------------------------------------------------
+    def _escape(self, array: np.ndarray) -> np.ndarray:
+        """Sanitize an array that is about to leave the instance.
+
+        A no-op unless ``debug`` is on, in which case the caller gets a
+        read-only view; the writable base stays private so appends and
+        rebuilds are unaffected.
+        """
+        if self.debug:
+            array = array.view()
+            array.setflags(write=False)
+        return array
 
     # ------------------------------------------------------------------
     @property
@@ -110,7 +129,9 @@ class CoverageInstance:
             pid += self._num_paths
         if not 0 <= pid < self._num_paths:
             raise IndexError(f"path id {pid} out of range")
-        return self._flat[self._offsets[pid] : self._offsets[pid + 1]]
+        return self._escape(
+            self._flat[self._offsets[pid] : self._offsets[pid + 1]]
+        )
 
     # ------------------------------------------------------------------
     def _incidence(self) -> tuple[np.ndarray, np.ndarray]:
@@ -136,7 +157,7 @@ class CoverageInstance:
         if not 0 <= node < self.num_nodes:
             return np.empty(0, dtype=np.int64)
         indptr, path_ids = self._incidence()
-        return path_ids[indptr[node] : indptr[node + 1]]
+        return self._escape(path_ids[indptr[node] : indptr[node + 1]])
 
     def paths_through(self, node: int) -> list[int]:
         """Ids of all paths visiting ``node``."""

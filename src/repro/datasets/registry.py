@@ -20,7 +20,7 @@ see DESIGN.md §4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..exceptions import DatasetError
 from ..graph import (

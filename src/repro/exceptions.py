@@ -51,7 +51,10 @@ class SessionInterrupted(ReproError):
     (``stop_after_checkpoints``); resume from the reported path to
     continue bit-identically."""
 
-    def __init__(self, path: str, checkpoints: int):
+    path: str
+    checkpoints: int
+
+    def __init__(self, path: str, checkpoints: int) -> None:
         super().__init__(
             f"run interrupted after {checkpoints} checkpoint(s); "
             f"resume from {path!r}"

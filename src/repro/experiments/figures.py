@@ -11,7 +11,7 @@ asserted by the benchmark suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from .._rng import as_generator, spawn
 from ..coverage import CoverageInstance, greedy_max_cover

@@ -8,7 +8,7 @@ are deliberately dependency-free (no plotting), matching the harness's
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["format_table", "format_number", "render_series"]
 

@@ -75,7 +75,9 @@ def from_edges(
     return _csr_from_arc_array(arr, n, directed)
 
 
-def from_adjacency(adjacency: dict, directed: bool = False, n: int | None = None) -> CSRGraph:
+def from_adjacency(
+    adjacency: dict, directed: bool = False, n: int | None = None
+) -> CSRGraph:
     """Build a graph from a ``{node: iterable_of_neighbors}`` mapping.
 
     Nodes absent from the mapping but referenced as neighbors are

@@ -135,7 +135,9 @@ def giant_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
     return graph.subgraph(nodes), nodes
 
 
-def _gather(indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+def _gather(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
     """All neighbors (with multiplicity) of the frontier nodes."""
     counts = indptr[frontier + 1] - indptr[frontier]
     total = int(counts.sum())

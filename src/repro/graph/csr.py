@@ -15,7 +15,7 @@ operations (:meth:`CSRGraph.subgraph`, :meth:`CSRGraph.remove_nodes`,
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class CSRGraph:
         directed: bool = False,
         rev_indptr: np.ndarray | None = None,
         rev_indices: np.ndarray | None = None,
-    ):
+    ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int32)
         if indptr.ndim != 1 or indptr.size == 0:
@@ -246,7 +246,7 @@ class CSRGraph:
 
         return from_edges(self.edge_array(), n=self.n, directed=False)
 
-    def subgraph(self, nodes) -> "CSRGraph":
+    def subgraph(self, nodes: Iterable[int]) -> "CSRGraph":
         """The subgraph induced by ``nodes``, relabeled to ``0..k-1``.
 
         ``nodes`` is any integer iterable; the relabeling follows the
@@ -270,7 +270,7 @@ class CSRGraph:
 
         return from_edges(edges, n=int(nodes.size), directed=self.directed)
 
-    def remove_nodes(self, nodes) -> "CSRGraph":
+    def remove_nodes(self, nodes: Iterable[int]) -> "CSRGraph":
         """The graph with ``nodes`` (and incident edges) removed but
         **without relabeling**: removed nodes remain as isolated ids.
 
@@ -300,7 +300,7 @@ class CSRGraph:
         kind = "directed" if self.directed else "undirected"
         return f"CSRGraph(n={self.n}, m={self._num_edges}, {kind})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented
         return (
@@ -310,7 +310,7 @@ class CSRGraph:
             and np.array_equal(self.indices, other.indices)
         )
 
-    def __hash__(self):  # pragma: no cover - identity hashing only
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
         return id(self)
 
 

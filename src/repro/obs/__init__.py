@@ -11,7 +11,9 @@ See ``docs/observability.md`` for the full model.
 
 from __future__ import annotations
 
+from .clock import Stopwatch, monotonic
 from .invariants import check_coverage, check_instance, check_sample
+from .registry import COUNTERS, EVENTS, is_counter, is_event
 from .telemetry import (
     NULL_TELEMETRY,
     REQUIRED_FIELDS,
@@ -35,4 +37,10 @@ __all__ = [
     "check_sample",
     "check_instance",
     "check_coverage",
+    "monotonic",
+    "Stopwatch",
+    "COUNTERS",
+    "EVENTS",
+    "is_counter",
+    "is_event",
 ]

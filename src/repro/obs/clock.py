@@ -1,0 +1,48 @@
+"""The package's single clock seam.
+
+Determinism rule ``RPR101`` (:mod:`repro.checks.rules_determinism`)
+forbids direct wall-clock reads (``time.time``, ``time.perf_counter``,
+``datetime.now``, ...) everywhere outside :mod:`repro.obs`: a clock
+read inside sampling or algorithm control flow is exactly the kind of
+hidden input that breaks bit-identical replay across engines and
+checkpoint/resume.  Code that legitimately needs elapsed-time
+*reporting* (``GBCResult.elapsed_seconds``, experiment tables, the
+telemetry hub's span timings) goes through this module instead, which
+keeps every clock read greppable and auditable in one place.
+
+Nothing here may ever feed back into control flow that affects which
+samples are drawn — that is the invariant the checker enforces by
+construction, by making this module the only one that can read a clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "Stopwatch"]
+
+
+def monotonic() -> float:
+    """A monotonic high-resolution timestamp in seconds.
+
+    The only sanctioned clock read outside :mod:`repro.obs.telemetry`;
+    use it for elapsed-time *reporting*, never for control flow.
+    """
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Measure one elapsed interval: ``elapsed()`` seconds since start.
+
+    A tiny convenience over two :func:`monotonic` reads, used by the
+    algorithms to fill ``GBCResult.elapsed_seconds``.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the stopwatch was created."""
+        return monotonic() - self._start

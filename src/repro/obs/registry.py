@@ -1,0 +1,60 @@
+"""The checked-in telemetry name registry.
+
+Telemetry counters and events are the cross-engine contract of the
+observability layer: the equality tests in ``tests/obs`` compare
+``engine.*`` counter totals *by name* across serial/batch/process
+engines, so a typo in one engine's counter name silently breaks the
+comparison instead of failing it.  This module pins every name the
+package is allowed to emit; the static-analysis rule ``RPR301``
+(:mod:`repro.checks.rules_telemetry`) rejects any
+``telemetry.count``/``telemetry.event`` call whose literal name is not
+registered here.
+
+Adding a new counter or event is a two-line change: emit it at the call
+site and register it below (with a short comment saying what it
+measures).  The checker keeps the two in lockstep; see
+``docs/static-analysis.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTERS", "EVENTS", "is_counter", "is_event"]
+
+#: Every monotonic counter name the package may pass to
+#: :meth:`repro.obs.Telemetry.count`.
+COUNTERS: frozenset[str] = frozenset(
+    {
+        # engine layer (SampleEngine.extend deltas)
+        "engine.samples",  # path samples drawn
+        "engine.draw_calls",  # draw() invocations served
+        "engine.traversals",  # graph traversals executed
+        "engine.edges_explored",  # arcs touched across traversals
+        # coverage layer (node->path CSR rebuild accounting)
+        "coverage.rebuilds",  # incidence rebuilds paid
+        "coverage.rebuilt_elements",  # flat elements re-argsorted
+        # session layer (SamplingSession)
+        "session.samples_drawn",  # samples drawn through extend()
+        "session.extend_calls",  # extend() requests served
+        "session.checkpoints",  # checkpoints written
+        "session.restores",  # checkpoints thawed
+    }
+)
+
+#: Every structured-event name the package may pass to
+#: :meth:`repro.obs.Telemetry.event`.
+EVENTS: frozenset[str] = frozenset(
+    {
+        "iteration",  # one outer-loop iteration of a sampling algorithm
+        "capped",  # a sample-budget cap preempted the stopping rule
+    }
+)
+
+
+def is_counter(name: str) -> bool:
+    """Whether ``name`` is a registered counter name."""
+    return name in COUNTERS
+
+
+def is_event(name: str) -> bool:
+    """Whether ``name`` is a registered event name."""
+    return name in EVENTS

@@ -139,7 +139,11 @@ def bidirectional_search(
     backward = _Side(graph.rev_indptr, graph.rev_indices, n, target)
 
     while forward.frontier.size and backward.frontier.size:
-        side = forward if forward.pending_work() <= backward.pending_work() else backward
+        side = (
+            forward
+            if forward.pending_work() <= backward.pending_work()
+            else backward
+        )
         other = backward if side is forward else forward
         newly = side.expand()
         if newly.size == 0:

@@ -239,7 +239,9 @@ class _Cohort:
             cut_level=rf,
             cut_nodes=cut_nodes,
             cut_weights=cut_weights,
-            edges_explored=int(self.edges[_FORWARD, slot] + self.edges[_BACKWARD, slot]),
+            edges_explored=int(
+                self.edges[_FORWARD, slot] + self.edges[_BACKWARD, slot]
+            ),
         )
 
 

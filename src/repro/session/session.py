@@ -73,7 +73,10 @@ class SamplingSession:
         checkpoints, restores) and ``checkpoint``/``restore`` spans,
         and wires the same hub into its engines.
     debug:
-        Forwarded to the engines (per-draw invariant validation).
+        Forwarded to the engines (per-draw invariant validation) and to
+        the lane stores, whose escaping views and exported arrays are
+        then returned with ``writeable=False`` (the runtime sanitizer
+        backing the static RPR202 rule).
     """
 
     def __init__(
@@ -120,7 +123,7 @@ class SamplingSession:
             for child in spawn(as_generator(seed), lanes)
         ]
         self.stores: list[SampleStore] = [
-            SampleStore(graph.n) for _ in range(lanes)
+            SampleStore(graph.n, debug=self.debug) for _ in range(lanes)
         ]
         #: Whether this session was thawed from a checkpoint.
         self.resumed = False
@@ -270,6 +273,7 @@ class SamplingSession:
                                 for key in ("flat", "offsets", "degrees",
                                             "schedule")
                             },
+                            debug=debug,
                         )
                         for lane in range(meta["lanes"])
                     ]

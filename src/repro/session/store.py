@@ -65,8 +65,8 @@ class SampleStore(CoverageInstance):
     each store with the engine whose stream filled it.
     """
 
-    def __init__(self, num_nodes: int):
-        super().__init__(num_nodes)
+    def __init__(self, num_nodes: int, *, debug: bool = False):
+        super().__init__(num_nodes, debug=debug)
         #: Extend targets served so far, in order — the draw schedule
         #: provenance a snapshot carries.
         self.draw_schedule: list[int] = []
@@ -77,18 +77,31 @@ class SampleStore(CoverageInstance):
         self.draw_schedule.append(int(target))
 
     def export_arrays(self) -> dict[str, np.ndarray]:
-        """The store's content as compact, copy-safe arrays."""
-        return {
+        """The store's content as compact, copy-safe arrays.
+
+        Under ``debug=True`` the exported arrays are additionally
+        returned with ``writeable=False`` (they are private copies
+        either way, but the read-only flag catches callers that treat a
+        snapshot as scratch space and then feed it back to
+        :meth:`from_arrays`).
+        """
+        arrays = {
             "flat": self._flat[: self._flat_len].copy(),
             "offsets": self._offsets[: self._num_paths + 1].copy(),
             "degrees": self._degrees.copy(),
             "schedule": np.asarray(self.draw_schedule, dtype=np.int64),
         }
+        if self.debug:
+            for array in arrays.values():
+                array.setflags(write=False)
+        return arrays
 
     @classmethod
-    def from_arrays(cls, num_nodes: int, arrays: dict) -> "SampleStore":
+    def from_arrays(
+        cls, num_nodes: int, arrays: dict, *, debug: bool = False
+    ) -> "SampleStore":
         """Rebuild a store from :meth:`export_arrays` output."""
-        store = cls(int(num_nodes))
+        store = cls(int(num_nodes), debug=debug)
         flat = np.asarray(arrays["flat"], dtype=np.int64)
         offsets = np.asarray(arrays["offsets"], dtype=np.int64)
         degrees = np.asarray(arrays["degrees"], dtype=np.int64)
@@ -106,7 +119,9 @@ class SampleStore(CoverageInstance):
         store._offsets = np.zeros(max(64, offsets.size), dtype=np.int64)
         store._offsets[: offsets.size] = offsets
         store._num_paths = int(offsets.size - 1)
-        store._degrees = degrees
+        # copy: the input may be a read-only debug export, and sharing a
+        # writable buffer with the caller would alias future appends
+        store._degrees = degrees.copy()
         store.draw_schedule = [
             int(t) for t in np.asarray(arrays.get("schedule", ()), dtype=np.int64)
         ]

@@ -1,0 +1,25 @@
+"""Shared helpers for the static-analysis (repro.checks) test suite."""
+
+import pytest
+
+from repro.checks import check_source
+
+
+@pytest.fixture
+def findings_for():
+    """Run the full rule set on a snippet; returns the findings list.
+
+    ``module`` defaults to a hot, non-exempt library module so that
+    scope-sensitive rules (RNG seam, clock seam, hot-module set rules)
+    are active unless a test opts out.
+    """
+
+    def run(source, module="repro.paths.sampler"):
+        findings, _suppressed = check_source(
+            source, module=module, path=f"{module.replace('.', '/')}.py"
+        )
+        return findings
+
+    return run
+
+

@@ -1,0 +1,185 @@
+"""Framework behavior: suppressions, parse errors, JSON schema, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checks import (
+    PARSE_ERROR_ID,
+    RULES,
+    all_rules,
+    check_source,
+    rule_ids,
+    run_checks,
+)
+from repro.checks.cli import main as checks_main
+from repro.exceptions import ParameterError
+
+SNIPPET_WITH_VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample():
+        return np.random.rand()
+    """
+)
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_targeted_suppression_silences_one_rule(self):
+        source = SNIPPET_WITH_VIOLATION.replace(
+            "np.random.rand()", "np.random.rand()  # repro: noqa[RPR001]"
+        )
+        findings, suppressed = check_source(source, module="repro.paths.x")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_suppression_for_other_rule_does_not_silence(self):
+        source = SNIPPET_WITH_VIOLATION.replace(
+            "np.random.rand()", "np.random.rand()  # repro: noqa[RPR401]"
+        )
+        findings, suppressed = check_source(source, module="repro.paths.x")
+        assert [f.rule for f in findings] == ["RPR001"]
+        assert suppressed == 0
+
+    def test_blanket_suppression_silences_every_rule(self):
+        source = SNIPPET_WITH_VIOLATION.replace(
+            "np.random.rand()", "np.random.rand()  # repro: noqa"
+        )
+        findings, suppressed = check_source(source, module="repro.paths.x")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_multiple_ids_in_one_comment(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: noqa[RPR001, RPR003]
+            """
+        )
+        findings, suppressed = check_source(source, module="repro.paths.x")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_string_literal_mentioning_marker_does_not_suppress(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            HELP = "silence with '# repro: noqa[RPR001]' on the line"
+
+            def sample():
+                return np.random.rand()
+            """
+        )
+        findings, _ = check_source(source, module="repro.paths.x")
+        assert [f.rule for f in findings] == ["RPR001"]
+
+    def test_suppression_only_applies_to_its_line(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np  # repro: noqa
+
+            def sample():
+                return np.random.rand()
+            """
+        )
+        findings, _ = check_source(source, module="repro.paths.x")
+        assert [f.rule for f in findings] == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# parse errors and registry
+# ----------------------------------------------------------------------
+class TestFrameworkCore:
+    def test_syntax_error_becomes_rpr000_finding(self):
+        findings, suppressed = check_source("def broken(:\n", module="m")
+        assert [f.rule for f in findings] == [PARSE_ERROR_ID]
+        assert suppressed == 0
+
+    def test_every_registered_rule_has_id_name_rationale(self):
+        assert rule_ids() == sorted(RULES)
+        for cls in all_rules():
+            assert cls.id.startswith("RPR") and len(cls.id) == 6
+            assert cls.name and cls.rationale
+
+    def test_registering_duplicate_id_is_rejected(self):
+        from repro.checks.registry import register
+
+        class Clone(all_rules()[0]):
+            pass
+
+        with pytest.raises(ParameterError):
+            register(Clone)
+
+    def test_findings_are_sorted_by_location(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            def b():
+                raise ValueError("x")
+
+            def a():
+                return np.random.rand()
+            """
+        )
+        findings, _ = check_source(source, module="repro.paths.x")
+        assert [f.rule for f in findings] == ["RPR401", "RPR001"]
+        assert findings[0].line < findings[1].line
+
+
+# ----------------------------------------------------------------------
+# output formats / CLI
+# ----------------------------------------------------------------------
+class TestOutput:
+    def test_json_schema(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text(SNIPPET_WITH_VIOLATION)
+        report = run_checks([tmp_path])
+        payload = report.as_dict()
+        assert set(payload) == {
+            "version", "ok", "files_checked", "suppressed", "findings",
+        }
+        assert payload["version"] == 1
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        (row,) = payload["findings"]
+        assert set(row) == {
+            "rule", "name", "message", "path", "line", "col", "module",
+        }
+        assert row["rule"] == "RPR001"
+
+    def test_cli_json_on_dirty_tree(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(SNIPPET_WITH_VIOLATION)
+        exit_code = checks_main([str(tmp_path), "--format", "json"])
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RPR001"
+
+    def test_cli_text_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        exit_code = checks_main([str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "0 findings in 1 file(s)" in out
+
+    def test_cli_list_rules(self, capsys):
+        assert checks_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+    def test_finding_render_is_clickable(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text(SNIPPET_WITH_VIOLATION)
+        report = run_checks([tmp_path])
+        line = report.findings[0].render()
+        assert line.startswith(f"{bad}:")
+        assert ": RPR001 " in line

@@ -1,0 +1,203 @@
+"""Fixture snippets for the determinism rules (RPR101/RPR102/RPR103)."""
+
+import textwrap
+
+def rule_ids_of(findings):
+    """The sorted rule-ID list of a findings batch."""
+    return sorted({finding.rule for finding in findings})
+
+
+def check(findings_for, source, module="repro.paths.sampler"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+# ----------------------------------------------------------------------
+# RPR101 — wall-clock reads outside repro.obs
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_triggers_on_perf_counter(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import time
+
+            def run():
+                start = time.perf_counter()
+                return start
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR101"]
+
+    def test_triggers_on_from_import_alias(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from time import perf_counter as tick
+
+            def run():
+                return tick()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR101"]
+
+    def test_triggers_on_datetime_now(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import datetime
+
+            stamp = datetime.datetime.now()
+            """,
+            module="repro.experiments.report",
+        )
+        assert rule_ids_of(findings) == ["RPR101"]
+
+    def test_passes_inside_obs(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import time
+
+            def monotonic():
+                return time.perf_counter()
+            """,
+            module="repro.obs.clock",
+        )
+        assert findings == []
+
+    def test_passes_on_obs_monotonic(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from repro.obs import monotonic
+
+            def run():
+                return monotonic()
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR102 — set iteration in hot modules
+# ----------------------------------------------------------------------
+class TestSetIteration:
+    def test_triggers_on_for_over_set_literal(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def visit(a, b):
+                for node in {a, b}:
+                    yield node
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR102"]
+
+    def test_triggers_on_for_over_set_call(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def visit(nodes):
+                for node in set(nodes):
+                    yield node
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR102"]
+
+    def test_triggers_on_comprehension_over_set(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def collect(nodes):
+                return [n + 1 for n in set(nodes)]
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR102"]
+
+    def test_triggers_on_list_of_set(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def collect(nodes):
+                return list(set(nodes))
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR102"]
+
+    def test_passes_on_sorted_set(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def collect(nodes):
+                return sorted(set(nodes))
+            """,
+        )
+        assert findings == []
+
+    def test_passes_outside_hot_modules(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def collect(nodes):
+                return list(set(nodes))
+            """,
+            module="repro.experiments.report",
+        )
+        assert findings == []
+
+    def test_membership_test_is_fine(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def touch(seen, node):
+                return node in seen
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR103 — order-dependent pops
+# ----------------------------------------------------------------------
+class TestOrderDependentPop:
+    def test_triggers_on_bare_popitem(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def evict(cache):
+                return cache.popitem()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR103"]
+
+    def test_triggers_on_set_pop(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def take(nodes):
+                return set(nodes).pop()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR103"]
+
+    def test_passes_on_explicit_popitem_order(self, findings_for):
+        # the LRU eviction pattern used by repro.paths.sampler
+        findings = check(
+            findings_for,
+            """
+            def evict(cache):
+                return cache.popitem(last=False)
+            """,
+        )
+        assert findings == []
+
+    def test_passes_on_list_pop_and_keyed_pop(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def drain(stack, mapping, key):
+                stack.pop()
+                return mapping.pop(key, None)
+            """,
+        )
+        assert findings == []

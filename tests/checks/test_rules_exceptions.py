@@ -1,0 +1,77 @@
+"""Fixture snippets for the exception-policy rule (RPR401)."""
+
+import textwrap
+
+def rule_ids_of(findings):
+    """The sorted rule-ID list of a findings batch."""
+    return sorted({finding.rule for finding in findings})
+
+
+def check(findings_for, source, module="repro.algorithms.adaalg"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+class TestBareBuiltinRaise:
+    def test_triggers_on_valueerror(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def validate(k):
+                if k < 1:
+                    raise ValueError("k must be positive")
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR401"]
+
+    def test_triggers_on_runtimeerror(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run():
+                raise RuntimeError("engine wedged")
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR401"]
+
+    def test_triggers_on_raise_without_call(self, findings_for):
+        findings = check(findings_for, "raise ValueError\n")
+        assert rule_ids_of(findings) == ["RPR401"]
+
+    def test_passes_on_parameter_error(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from repro.exceptions import ParameterError
+
+            def validate(k):
+                if k < 1:
+                    raise ParameterError("k must be positive")
+            """,
+        )
+        assert findings == []
+
+    def test_passes_on_bare_reraise(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(step):
+                try:
+                    step()
+                except Exception:
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_passes_on_other_builtins(self, findings_for):
+        # IndexError/KeyError/TypeError keep their stdlib semantics
+        findings = check(
+            findings_for,
+            """
+            def pick(seq, i):
+                if i >= len(seq):
+                    raise IndexError(i)
+                return seq[i]
+            """,
+        )
+        assert findings == []

@@ -1,0 +1,192 @@
+"""Fixture snippets for the RNG-hygiene rules (RPR001/RPR002/RPR003)."""
+
+import textwrap
+
+def rule_ids_of(findings):
+    """The sorted rule-ID list of a findings batch."""
+    return sorted({finding.rule for finding in findings})
+
+
+def check(findings_for, source, module="repro.paths.sampler"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+# ----------------------------------------------------------------------
+# RPR001 — numpy global random state
+# ----------------------------------------------------------------------
+class TestNumpyGlobalRandom:
+    def test_triggers_on_module_level_draw(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR001"]
+        assert "numpy.random.rand" in findings[0].message
+
+    def test_triggers_on_aliased_import(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy.random as nr
+
+            def seed_everything():
+                nr.seed(0)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR001"]
+
+    def test_triggers_on_randomstate_constructor(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            state = np.random.RandomState(7)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR001"]
+
+    def test_passes_on_generator_method(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def sample(rng):
+                return rng.integers(0, 10)
+            """,
+        )
+        assert findings == []
+
+    def test_exempt_inside_rng_seam(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            def legacy_bridge():
+                return np.random.rand()
+            """,
+            module="repro._rng",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — ambient entropy
+# ----------------------------------------------------------------------
+class TestAmbientEntropy:
+    def test_triggers_on_stdlib_random_import(self, findings_for):
+        findings = check(findings_for, "import random\n")
+        assert rule_ids_of(findings) == ["RPR002"]
+
+    def test_triggers_on_from_import(self, findings_for):
+        findings = check(findings_for, "from random import shuffle\n")
+        assert rule_ids_of(findings) == ["RPR002"]
+
+    def test_triggers_on_os_urandom(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import os
+
+            token = os.urandom(16)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR002"]
+
+    def test_triggers_on_uuid4(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import uuid
+
+            run_id = uuid.uuid4()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR002"]
+
+    def test_passes_on_os_path_use(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import os
+
+            base = os.path.dirname(__file__)
+            """,
+        )
+        assert findings == []
+
+    def test_relative_import_named_random_is_not_stdlib(self, findings_for):
+        findings = check(findings_for, "from .random import helper\n")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — ad-hoc generator construction
+# ----------------------------------------------------------------------
+class TestAdHocGenerator:
+    def test_triggers_on_seedless_default_rng(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR003"]
+
+    def test_triggers_on_seeded_default_rng_too(self, findings_for):
+        # even a seeded construction bypasses spawn() lineage
+        findings = check(
+            findings_for,
+            """
+            from numpy.random import default_rng
+
+            rng = default_rng(42)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR003"]
+
+    def test_triggers_on_bit_generator(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            rng = np.random.Generator(np.random.PCG64(1))
+            """,
+        )
+        assert all(f.rule == "RPR003" for f in findings)
+        assert len(findings) == 2  # Generator(...) and PCG64(...)
+
+    def test_exempt_inside_rng_seam(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import numpy as np
+
+            def as_generator(seed=None):
+                if isinstance(seed, np.random.Generator):
+                    return seed
+                return np.random.default_rng(seed)
+            """,
+            module="repro._rng",
+        )
+        assert findings == []
+
+    def test_passes_on_as_generator_call(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from repro._rng import as_generator
+
+            def run(seed=None):
+                return as_generator(seed)
+            """,
+        )
+        assert findings == []

@@ -1,0 +1,84 @@
+"""Fixture snippets for the telemetry-discipline rule (RPR301)."""
+
+import textwrap
+
+from repro.obs import COUNTERS, EVENTS, is_counter, is_event
+
+def rule_ids_of(findings):
+    """The sorted rule-ID list of a findings batch."""
+    return sorted({finding.rule for finding in findings})
+
+
+def check(findings_for, source, module="repro.engine.serial"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+class TestUnregisteredTelemetryName:
+    def test_triggers_on_unknown_counter(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(telemetry):
+                telemetry.count("engine.sampels", 1)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR301"]
+        assert "engine.sampels" in findings[0].message
+
+    def test_triggers_on_unknown_event(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(self):
+                self.telemetry.event("iteration_done")
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR301"]
+
+    def test_triggers_on_non_literal_name(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(telemetry, name):
+                telemetry.count(name, 1)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR301"]
+        assert "string literal" in findings[0].message
+
+    def test_passes_on_registered_counter(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(self):
+                self.telemetry.count("engine.samples", 4)
+            """,
+        )
+        assert findings == []
+
+    def test_passes_on_registered_event(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(hub):
+                hub.event("iteration", i=3)
+            """,
+        )
+        assert findings == []
+
+    def test_ignores_non_hub_receivers(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(text, items):
+                return text.count("x") + items.count(3)
+            """,
+        )
+        assert findings == []
+
+    def test_registry_helpers_agree_with_rule(self):
+        assert is_counter("engine.samples")
+        assert not is_counter("engine.sampels")
+        assert is_event("iteration")
+        assert not is_event("engine.samples")
+        assert COUNTERS.isdisjoint(EVENTS)
