@@ -43,8 +43,15 @@ def _run_engines(config, preset_name):
         # strategies around the source-grouped amortized sampler (claim 2
         # below is about that amortization); the kernel comparison lives
         # in test_bench_wavefront.py
+        # epoch_size=500 divides every preset's draw count, so the epoch
+        # engine's round-up-to-boundary extend lands exactly on `draws`
         with create_engine(
-            name, graph, seed=config.seed, workers=workers, kernel="grouped"
+            name,
+            graph,
+            seed=config.seed,
+            workers=workers,
+            kernel="grouped",
+            epoch_size=500,
         ) as engine:
             start = time.perf_counter()
             engine.extend(instance, draws)

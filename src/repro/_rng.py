@@ -13,6 +13,8 @@ from typing import TypeAlias
 
 import numpy as np
 
+from .exceptions import ParameterError
+
 #: Anything a ``seed=`` parameter accepts anywhere in the package.
 SeedLike: TypeAlias = (
     "int | np.random.Generator | np.random.SeedSequence | None"
@@ -50,3 +52,31 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     the derivation reproducible for a seeded parent.
     """
     return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]
+
+
+def stream_entropy(rng: np.random.Generator) -> int:
+    """One entropy word drawn from ``rng``, keying an *indexed* family
+    of child streams (see :func:`indexed_seed`).
+
+    Unlike :func:`spawn_seeds`, which hands out children sequentially
+    from the parent stream, an entropy word fixes the whole family at
+    once: child ``i`` is addressable without having derived children
+    ``0..i-1`` first.  That is what lets the epoch engine dispatch
+    epochs speculatively and still replay any suffix after a resume.
+    """
+    return spawn_seeds(rng, 1)[0]
+
+
+def indexed_seed(entropy: int, index: int) -> int:
+    """The child seed of stream ``index`` in the family keyed by
+    ``entropy``.
+
+    Built on :class:`numpy.random.SeedSequence` spawn keys, so distinct
+    indices yield statistically independent streams and the mapping
+    ``(entropy, index) -> seed`` is a pure function — the anchor of the
+    epoch engine's worker-count-independent determinism.
+    """
+    if index < 0:
+        raise ParameterError(f"stream index must be non-negative, got {index}")
+    sequence = np.random.SeedSequence(entropy=int(entropy), spawn_key=(int(index),))
+    return int(sequence.generate_state(1, np.uint64)[0])

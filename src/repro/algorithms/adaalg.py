@@ -101,6 +101,7 @@ class AdaAlg(SamplingAlgorithm):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         max_samples: int | None = None,
         validation_set: bool = True,
         telemetry=None,
@@ -121,6 +122,7 @@ class AdaAlg(SamplingAlgorithm):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            epoch_size=epoch_size,
             telemetry=telemetry,
             debug=debug,
             session=session,

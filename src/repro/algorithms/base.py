@@ -126,6 +126,11 @@ class SamplingAlgorithm(GBCAlgorithm):
     cache_sources:
         Forward-BFS tree cache size forwarded to the engines (``0``
         disables caching).
+    epoch_size:
+        Samples per epoch for the ``"epoch"`` engine (ignored by the
+        other engines; ``None`` keeps the engine default).  Part of the
+        determinism contract: results are a pure function of
+        ``(seed, epoch_size)``, never of the worker count.
     telemetry:
         An optional :class:`~repro.obs.Telemetry` hub the run reports
         to: timed spans around sampling/greedy phases, per-iteration
@@ -176,6 +181,7 @@ class SamplingAlgorithm(GBCAlgorithm):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         telemetry=None,
         debug: bool = False,
         session: SamplingSession | None = None,
@@ -202,6 +208,8 @@ class SamplingAlgorithm(GBCAlgorithm):
             raise ParameterError(
                 f"cache_sources must be non-negative, got {cache_sources}"
             )
+        if epoch_size is not None and epoch_size < 1:
+            raise ParameterError(f"epoch_size must be >= 1, got {epoch_size}")
         if checkpoint_every < 1:
             raise ParameterError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -229,6 +237,7 @@ class SamplingAlgorithm(GBCAlgorithm):
         self.workers = workers
         self.kernel = kernel
         self.cache_sources = cache_sources
+        self.epoch_size = epoch_size
         self.telemetry = as_telemetry(telemetry)
         self.debug = debug
         self.session = session
@@ -304,6 +313,7 @@ class SamplingAlgorithm(GBCAlgorithm):
             workers=self.workers,
             kernel=self.kernel,
             cache_sources=self.cache_sources,
+            epoch_size=self.epoch_size,
             telemetry=self.telemetry,
             debug=self.debug,
         )
@@ -323,6 +333,7 @@ class SamplingAlgorithm(GBCAlgorithm):
             "gamma": self.gamma,
             "include_endpoints": self.include_endpoints,
             "sampler_method": self.sampler_method,
+            "epoch_size": self.epoch_size,
         }
 
     def _checkpoint(
@@ -395,6 +406,7 @@ class SamplingAlgorithm(GBCAlgorithm):
                 workers=self.workers,
                 kernel=self.kernel,
                 cache_sources=self.cache_sources,
+                epoch_size=self.epoch_size,
                 telemetry=self.telemetry,
                 debug=self.debug,
             )

@@ -50,6 +50,7 @@ class CentRa(Hedge):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         max_samples: int | None = None,
         empirical_stop: bool = False,
         era_draws: int = 8,
@@ -72,6 +73,7 @@ class CentRa(Hedge):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            epoch_size=epoch_size,
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,

@@ -47,6 +47,7 @@ class Exhaust(Hedge):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
@@ -66,6 +67,7 @@ class Exhaust(Hedge):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            epoch_size=epoch_size,
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,

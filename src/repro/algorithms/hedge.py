@@ -56,6 +56,7 @@ class Hedge(SamplingAlgorithm):
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
@@ -75,6 +76,7 @@ class Hedge(SamplingAlgorithm):
             workers=workers,
             kernel=kernel,
             cache_sources=cache_sources,
+            epoch_size=epoch_size,
             telemetry=telemetry,
             debug=debug,
             session=session,

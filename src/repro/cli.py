@@ -33,6 +33,8 @@ Examples
     repro-gbc run --algorithm adaalg --dataset GrQc -k 20 --eps 0.3
     repro-gbc run --algorithm hedge --edge-list my_graph.txt -k 10
     repro-gbc run --algorithm adaalg --dataset GrQc -k 20 \
+        --engine epoch --workers 4 --epoch-size 4096 --mmap graph.mmap
+    repro-gbc run --algorithm adaalg --dataset GrQc -k 20 \
         --checkpoint run.ckpt.npz --checkpoint-every 2
     repro-gbc resume run.ckpt.npz
     repro-gbc compare --dataset GrQc -k 20
@@ -46,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 
 from .algorithms import (
     AdaAlg,
@@ -82,7 +85,14 @@ from .experiments import (
     write_result,
 )
 from .experiments.report import format_table
-from .graph import giant_component, read_edge_list, read_weighted_edge_list
+from .graph import (
+    giant_component,
+    is_mmap_graph,
+    load_mmap,
+    read_edge_list,
+    read_weighted_edge_list,
+    save_mmap,
+)
 from .obs import CallbackSink, JsonlSink, Telemetry
 from .paths import exact_gbc
 from .session import SamplingSession
@@ -161,7 +171,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=None,
-            help="worker processes for --engine process (default: all cores)",
+            help="worker processes for --engine process/epoch "
+            "(default: all cores)",
+        )
+        parser_.add_argument(
+            "--epoch-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="samples per epoch for --engine epoch (default: engine "
+            "default; results depend on (seed, epoch-size), never on "
+            "--workers)",
+        )
+        parser_.add_argument(
+            "--mmap",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="DIR",
+            help="sample out-of-core: spill the loaded graph to the "
+            "on-disk memory-mapped format at DIR (a temporary "
+            "directory when omitted) and reopen it via np.memmap; "
+            "workers attach read-only without copying. An --edge-list "
+            "pointing at an existing mmap directory is opened "
+            "directly.",
         )
         parser_.add_argument(
             "--kernel",
@@ -349,6 +382,7 @@ def _make_algorithm(
     workers: int | None = None,
     kernel: str = "wavefront",
     cache_sources: int = 0,
+    epoch_size: int | None = None,
     telemetry=None,
     debug: bool = False,
     checkpoint_path: str | None = None,
@@ -361,6 +395,7 @@ def _make_algorithm(
         "workers": workers,
         "kernel": kernel,
         "cache_sources": cache_sources,
+        "epoch_size": epoch_size,
         "telemetry": telemetry,
         "debug": debug,
         "checkpoint_path": checkpoint_path,
@@ -423,13 +458,29 @@ def _build_telemetry(args):
 
 def _load_graph(args):
     if args.dataset:
-        return load(args.dataset, seed=args.seed, giant_only=not args.whole_graph)
-    if args.weighted:
-        graph, _ = read_weighted_edge_list(args.edge_list, directed=args.directed)
+        graph = load(args.dataset, seed=args.seed, giant_only=not args.whole_graph)
+    elif is_mmap_graph(args.edge_list):
+        # an mmap directory was saved post-preprocessing: open as-is
+        # (restricting to the giant component would copy the arrays
+        # into memory and defeat the out-of-core tier)
+        graph = load_mmap(args.edge_list)
     else:
-        graph, _ = read_edge_list(args.edge_list, directed=args.directed)
-    if not args.whole_graph:
-        graph, _ = giant_component(graph)
+        if args.weighted:
+            graph, _ = read_weighted_edge_list(
+                args.edge_list, directed=args.directed
+            )
+        else:
+            graph, _ = read_edge_list(args.edge_list, directed=args.directed)
+        if not args.whole_graph:
+            graph, _ = giant_component(graph)
+    mmap_dir = getattr(args, "mmap", None)
+    if mmap_dir is not None and graph.mmap_source is None:
+        # spill the fully preprocessed graph and reopen it memory-mapped
+        # so the run (and its sampling workers) operate out-of-core
+        target = mmap_dir or tempfile.mkdtemp(prefix="repro-mmap-")
+        save_mmap(graph, target)
+        graph = load_mmap(target)
+        print(f"mmap        : {graph.mmap_source}", file=sys.stderr)
     return graph
 
 
@@ -457,7 +508,9 @@ def _print_result(result, graph, args, k: int) -> None:
     print(f"algorithm   : {result.algorithm}")
     print(f"engine      : {args.engine}"
           + (f" (workers={args.workers})" if args.workers else "")
-          + f" kernel={args.kernel}")
+          + f" kernel={args.kernel}"
+          + (f" epoch_size={args.epoch_size}"
+             if getattr(args, "epoch_size", None) else ""))
     print(f"graph       : n={graph.n} m={graph.num_edges} "
           f"({'directed' if graph.directed else 'undirected'})")
     print(f"group (K={k}): {sorted(result.group)}")
@@ -507,6 +560,7 @@ def _cmd_run(args) -> int:
         args.workers,
         args.kernel,
         args.cache_sources,
+        epoch_size=args.epoch_size,
         telemetry=telemetry,
         debug=args.debug_invariants,
         checkpoint_path=args.checkpoint,
@@ -528,6 +582,8 @@ def _cmd_run(args) -> int:
             "workers": args.workers,
             "kernel": args.kernel,
             "cache_sources": args.cache_sources,
+            "epoch_size": args.epoch_size,
+            "mmap": args.mmap,
         }
     try:
         return _finish_run(algorithm, graph, args, args.k)
@@ -556,6 +612,7 @@ def _cmd_resume(args) -> int:
         weighted = bool(saved.get("weighted"))
         whole_graph = bool(saved.get("whole_graph"))
         seed = saved.get("seed", 0)
+        mmap = saved.get("mmap")
 
     graph = _load_graph(_GraphArgs)
     telemetry = _build_telemetry(args)
@@ -568,6 +625,7 @@ def _cmd_resume(args) -> int:
         saved.get("workers"),
         saved.get("kernel", "wavefront"),
         saved.get("cache_sources", 0),
+        epoch_size=saved.get("epoch_size"),
         telemetry=telemetry,
         debug=args.debug_invariants,
         checkpoint_path=args.checkpoint or path,
@@ -578,6 +636,7 @@ def _cmd_resume(args) -> int:
     args.engine = saved.get("engine", "serial")
     args.workers = saved.get("workers")
     args.kernel = saved.get("kernel", "wavefront")
+    args.epoch_size = saved.get("epoch_size")
     print(f"resuming    : {path} ({state['algorithm']}, "
           f"K={state['k']}, {sum(meta['num_paths'])} samples banked)")
     try:
@@ -603,6 +662,7 @@ def _cmd_compare(args) -> int:
                 args.workers,
                 args.kernel,
                 args.cache_sources,
+                epoch_size=args.epoch_size,
                 telemetry=telemetry,
                 debug=args.debug_invariants,
             )

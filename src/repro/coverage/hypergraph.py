@@ -123,6 +123,54 @@ class CoverageInstance:
         for nodes in paths:
             self.add_path(nodes)
 
+    def add_paths_packed(self, flat: np.ndarray, offsets: np.ndarray) -> None:
+        """Append many paths at once from a packed (flat, offsets) pair.
+
+        ``flat`` concatenates the node sets, ``offsets`` delimits them
+        (``offsets[0] == 0``, ``offsets[-1] == flat.size``); segment
+        ``i`` is ``flat[offsets[i]:offsets[i+1]]``.  **Each segment
+        must already be sorted and deduplicated** — the layout
+        :func:`repro.engine.wire.pack_samples` produces — because the
+        per-path ``np.unique`` is skipped here; that is the point: one
+        vectorized append per epoch instead of one Python call per
+        path.  Empty segments (null samples) are fine.
+        """
+        flat = np.ascontiguousarray(flat, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size == 0 or offsets[0] != 0:
+            raise ParameterError("offsets must be 1-D and start at 0")
+        if offsets[-1] != flat.size or np.any(np.diff(offsets) < 0):
+            raise ParameterError(
+                "offsets must be non-decreasing and end at flat.size"
+            )
+        if flat.size and (flat.min() < 0 or flat.max() >= self.num_nodes):
+            raise ParameterError("path mentions node ids outside the universe")
+        if self.debug and flat.size:
+            # verify the sorted-unique precondition: within a segment
+            # every step must strictly increase
+            rising = flat[1:] > flat[:-1]
+            # comparisons that straddle a segment boundary are exempt
+            boundary = offsets[1:-1]
+            boundary = boundary[(boundary > 0) & (boundary < flat.size)]
+            rising[boundary - 1] = True
+            if not bool(rising.all()):
+                raise ParameterError(
+                    "packed path segments must be sorted and deduplicated"
+                )
+        count = offsets.size - 1
+        end = self._flat_len + flat.size
+        self._flat = _grow(self._flat, end)
+        self._flat[self._flat_len : end] = flat
+        self._offsets = _grow(self._offsets, self._num_paths + count + 1)
+        self._offsets[self._num_paths + 1 : self._num_paths + count + 1] = (
+            offsets[1:] + self._flat_len
+        )
+        self._flat_len = end
+        self._num_paths += count
+        np.add.at(self._degrees, flat, 1)
+        self._inc_indptr = None
+        self._inc_paths = None
+
     def path(self, pid: int) -> np.ndarray:
         """The (sorted, deduplicated) node array of path ``pid``."""
         if pid < 0:

@@ -14,10 +14,16 @@ All sampling algorithms draw their paths through a
     Fan chunks of samples out to a pool of worker processes over a
     shared-memory graph; results are bit-identical across worker
     counts for a fixed seed.
+``epoch``
+    Persistent worker loops sampling fixed-size epochs continuously
+    (:class:`~repro.engine.epoch.EpochEngine`): one pickle per epoch,
+    speculative lookahead, bulk coverage ingestion — bit-identical
+    across worker counts for a fixed ``(seed, epoch_size)``.
 
 The ``kernel`` knob (``wavefront`` / ``scalar`` / ``grouped``, see
-:data:`~repro.engine.base.KERNELS`) selects how the batch and process
-engines traverse; ``cache_sources`` sizes the forward-BFS tree cache.
+:data:`~repro.engine.base.KERNELS`) selects how the batch, process,
+and epoch engines traverse; ``cache_sources`` sizes the forward-BFS
+tree cache.
 """
 
 from __future__ import annotations
@@ -33,9 +39,11 @@ from .base import (
     coverage_nodes,
     resolve_kernel,
 )
+from .epoch import EpochEngine
 from .pool import ProcessPoolEngine
 from .serial import BatchEngine, SerialEngine
 from .shm import SharedGraphBlocks, attach_graph
+from .wire import PackedSamples, pack_samples, unpack_samples
 
 __all__ = [
     "EngineStats",
@@ -43,6 +51,10 @@ __all__ = [
     "SerialEngine",
     "BatchEngine",
     "ProcessPoolEngine",
+    "EpochEngine",
+    "PackedSamples",
+    "pack_samples",
+    "unpack_samples",
     "SharedGraphBlocks",
     "attach_graph",
     "ENGINES",
@@ -58,6 +70,7 @@ ENGINES: dict[str, type[SampleEngine]] = {
     SerialEngine.name: SerialEngine,
     BatchEngine.name: BatchEngine,
     ProcessPoolEngine.name: ProcessPoolEngine,
+    EpochEngine.name: EpochEngine,
 }
 
 
@@ -71,18 +84,21 @@ def create_engine(
     workers: int | None = None,
     kernel: str = "wavefront",
     cache_sources: int = 0,
+    epoch_size: int | None = None,
     telemetry=None,
     debug: bool = False,
 ) -> SampleEngine:
     """Instantiate the engine registered under ``name``.
 
-    ``workers`` only applies to the process engine and ``kernel`` to
-    the batch/process engines; passing them with other engines is
-    accepted (and ignored) so callers can thread a single set of knobs
-    through unconditionally.  ``cache_sources`` applies everywhere.
-    ``telemetry`` attaches a :class:`~repro.obs.Telemetry` hub the
-    engine reports draws to, and ``debug`` turns on the per-draw
-    invariant validators (:mod:`repro.obs.invariants`).
+    ``workers`` only applies to the process/epoch engines, ``kernel``
+    to the batch/process/epoch engines, and ``epoch_size`` to the
+    epoch engine (``None`` keeps its default); passing them with other
+    engines is accepted (and ignored) so callers can thread a single
+    set of knobs through unconditionally.  ``cache_sources`` applies
+    everywhere.  ``telemetry`` attaches a
+    :class:`~repro.obs.Telemetry` hub the engine reports draws to, and
+    ``debug`` turns on the per-draw invariant validators
+    (:mod:`repro.obs.invariants`).
     """
     try:
         cls = ENGINES[name]
@@ -90,16 +106,20 @@ def create_engine(
         known = ", ".join(sorted(ENGINES))
         raise ParameterError(f"unknown engine {name!r}; expected one of: {known}")
     resolve_kernel(kernel, graph, method)  # reject unknown names early
+    if epoch_size is not None and epoch_size < 1:
+        raise ParameterError(f"epoch_size must be >= 1, got {epoch_size}")
     kwargs = {
         "seed": seed,
         "method": method,
         "include_endpoints": include_endpoints,
         "cache_sources": cache_sources,
     }
-    if issubclass(cls, (BatchEngine, ProcessPoolEngine)):
+    if issubclass(cls, (BatchEngine, ProcessPoolEngine, EpochEngine)):
         kwargs["kernel"] = kernel
-    if cls is ProcessPoolEngine:
+    if issubclass(cls, (ProcessPoolEngine, EpochEngine)):
         kwargs["workers"] = workers
+    if issubclass(cls, EpochEngine) and epoch_size is not None:
+        kwargs["epoch_size"] = epoch_size
     engine = cls(graph, **kwargs)
     engine.telemetry = as_telemetry(telemetry)
     engine.debug = bool(debug)

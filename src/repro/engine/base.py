@@ -116,7 +116,15 @@ class EngineStats:
         samples per traversal, so this can be far below ``samples``).
     batches:
         Work units dispatched: amortized-BFS batches for the batch
-        path, chunks for the process pool, one per sample serially.
+        path, chunks for the process pool, epochs for the epoch
+        engine, one per sample serially.
+    epochs:
+        Fixed-size sample epochs *ingested* into the stream, in index
+        order (epoch engine only; 0 elsewhere).
+    dispatches:
+        Epoch tasks handed to workers — or run in-process when no
+        workers back the engine.  Exceeds :attr:`epochs` by whatever
+        speculative lookahead was discarded at close.
     edges_explored:
         Total arcs touched across all traversals.
     workers:
@@ -142,6 +150,8 @@ class EngineStats:
     draw_calls: int = 0
     traversals: int = 0
     batches: int = 0
+    epochs: int = 0
+    dispatches: int = 0
     edges_explored: int = 0
     workers: int = 0
     worker_samples: dict[int, int] = field(default_factory=dict)
@@ -158,6 +168,8 @@ class EngineStats:
             "draw_calls": self.draw_calls,
             "traversals": self.traversals,
             "batches": self.batches,
+            "epochs": self.epochs,
+            "dispatches": self.dispatches,
             "edges_explored": self.edges_explored,
             "workers": self.workers,
             "worker_samples": dict(self.worker_samples),

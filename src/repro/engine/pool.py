@@ -46,6 +46,12 @@ __all__ = ["ProcessPoolEngine"]
 
 _DEFAULT_CHUNK = 1024
 
+#: Auto-sized chunks never split a draw into more than this many
+#: dispatches: large draws get proportionally larger chunks, so the
+#: per-dispatch overhead (one pickled result per chunk) stays a fixed
+#: fraction of the draw instead of growing linearly with it.
+_TARGET_DISPATCHES = 8
+
 #: Per-worker state set once by the pool initializer: the rebuilt graph,
 #: the shared-memory handles keeping its buffers alive, and the sampling
 #: configuration every chunk reuses.
@@ -65,6 +71,10 @@ def _materialize_graph(transport: str, payload: dict):
     """Rebuild the worker's graph; returns ``(graph, shm_handles)``."""
     if transport == "shm":
         return attach_graph(payload)
+    if transport == "mmap":
+        from ..graph.mmap import load_mmap  # deferred: graph.mmap is cold-path
+
+        return load_mmap(payload["path"]), []
     cls = WeightedCSRGraph if payload["weighted"] else CSRGraph
     return cls.from_arrays(payload["arrays"], directed=payload["directed"]), []
 
@@ -150,6 +160,11 @@ class ProcessPoolEngine(SampleEngine):
         Samples per dispatched chunk.  Part of the determinism
         contract: changing it changes the sub-stream layout (and hence
         the concrete samples), while changing ``workers`` does not.
+        The default ``None`` auto-sizes chunks as a pure function of
+        the draw *count* — ``max(1024, ceil(count / 8))`` — which keeps
+        small draws in one dispatch (identical layout to the historical
+        fixed 1024) while capping the dispatch overhead of large draws
+        at 8 result pickles; still worker-count independent.
     kernel:
         Per-chunk traversal kernel: ``"wavefront"`` (default),
         ``"scalar"``, or the legacy ``"grouped"`` — see
@@ -172,7 +187,7 @@ class ProcessPoolEngine(SampleEngine):
         include_endpoints: bool = True,
         cache_sources: int = 0,
         workers: int | None = None,
-        chunk_size: int = _DEFAULT_CHUNK,
+        chunk_size: int | None = None,
         kernel: str = "wavefront",
         cohort_size: int | None = None,
     ):
@@ -185,7 +200,7 @@ class ProcessPoolEngine(SampleEngine):
         )
         if workers is not None and workers < 0:
             raise ParameterError(f"workers must be >= 0, got {workers}")
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
@@ -197,8 +212,11 @@ class ProcessPoolEngine(SampleEngine):
 
     # ------------------------------------------------------------------
     def _worker_payload(self) -> tuple[str, dict]:
-        """Graph transport for worker initializers: shared memory when
-        the platform provides it, pickled arrays otherwise."""
+        """Graph transport for worker initializers: re-open the on-disk
+        file for memory-mapped graphs, shared memory when the platform
+        provides it, pickled arrays otherwise."""
+        if self.graph.mmap_source is not None:
+            return "mmap", {"path": self.graph.mmap_source}
         if self._segments is None:
             try:
                 self._segments = SharedGraphBlocks(self.graph)
@@ -236,8 +254,13 @@ class ProcessPoolEngine(SampleEngine):
         return self._pool
 
     def _chunk_sizes(self, count: int) -> list[int]:
-        full, rest = divmod(count, self.chunk_size)
-        return [self.chunk_size] * full + ([rest] if rest else [])
+        # depends on the request count only, never on worker state —
+        # the chunk layout is what makes results worker-count invariant
+        size = self.chunk_size
+        if size is None:
+            size = max(_DEFAULT_CHUNK, -(-count // _TARGET_DISPATCHES))
+        full, rest = divmod(count, size)
+        return [size] * full + ([rest] if rest else [])
 
     def draw(self, count: int) -> list[PathSample]:
         self._check_count(count)

@@ -1,0 +1,171 @@
+"""Compact array wire format for shipping sample epochs between
+processes.
+
+The process-pool engine returns each draw as a pickled
+``list[PathSample]`` — one Python object per path, whose (un)pickling
+dominates the dispatch cost for the short paths typical of small-world
+graphs.  The epoch engine instead ships each epoch as **seven numpy
+arrays**: flattened path nodes with offsets, the per-sample scalars,
+and the pre-deduplicated *coverage* node sets (endpoint convention
+already applied by the worker).  One pickle per epoch, not per path —
+and the parent can bulk-append the coverage sets into a
+:class:`~repro.coverage.CoverageInstance` without re-running
+``np.unique`` per sample.
+
+``pack_samples`` / ``unpack_samples`` round-trip exactly:
+``unpack_samples(pack_samples(samples, ...))`` reproduces every
+:class:`~repro.paths.sampler.PathSample` field bit-for-bit, so callers
+that need the object form (``draw()``) lose nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..paths.sampler import PathSample
+from .base import coverage_nodes
+
+__all__ = ["PackedSamples", "pack_samples", "unpack_samples"]
+
+
+class PackedSamples:
+    """One epoch of samples in flat-array form.
+
+    Attributes
+    ----------
+    sources, targets, distances, sigmas, edges:
+        Per-sample scalar columns (``distances[i] == -1`` and an empty
+        node segment mark a null sample).
+    path_flat, path_offsets:
+        Concatenated path node arrays; sample ``i``'s path is
+        ``path_flat[path_offsets[i]:path_offsets[i + 1]]``.
+    cov_flat, cov_offsets:
+        Concatenated *coverage* node sets — sorted, deduplicated, and
+        already sliced by the endpoint convention — in the layout
+        :meth:`~repro.coverage.CoverageInstance.add_paths_packed`
+        ingests directly.
+    """
+
+    __slots__ = (
+        "sources",
+        "targets",
+        "distances",
+        "sigmas",
+        "edges",
+        "path_flat",
+        "path_offsets",
+        "cov_flat",
+        "cov_offsets",
+    )
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        distances: np.ndarray,
+        sigmas: np.ndarray,
+        edges: np.ndarray,
+        path_flat: np.ndarray,
+        path_offsets: np.ndarray,
+        cov_flat: np.ndarray,
+        cov_offsets: np.ndarray,
+    ):
+        self.sources = sources
+        self.targets = targets
+        self.distances = distances
+        self.sigmas = sigmas
+        self.edges = edges
+        self.path_flat = path_flat
+        self.path_offsets = path_offsets
+        self.cov_flat = cov_flat
+        self.cov_offsets = cov_offsets
+
+    def __len__(self) -> int:
+        return self.sources.size
+
+    # plain-tuple pickling keeps the wire payload free of per-object
+    # dict overhead (PackedSamples has __slots__, but explicit state
+    # also survives class renames in old worker snapshots)
+    def __reduce__(self):
+        return (
+            PackedSamples,
+            (
+                self.sources,
+                self.targets,
+                self.distances,
+                self.sigmas,
+                self.edges,
+                self.path_flat,
+                self.path_offsets,
+                self.cov_flat,
+                self.cov_offsets,
+            ),
+        )
+
+
+def pack_samples(
+    samples: list[PathSample], include_endpoints: bool
+) -> PackedSamples:
+    """Flatten ``samples`` into one :class:`PackedSamples` epoch.
+
+    The coverage sets are computed here — on the worker, off the
+    parent's critical path — with the same
+    ``np.unique(coverage_nodes(...))`` the per-sample append would run.
+    """
+    count = len(samples)
+    sources = np.fromiter((s.source for s in samples), np.int64, count=count)
+    targets = np.fromiter((s.target for s in samples), np.int64, count=count)
+    distances = np.fromiter((s.distance for s in samples), np.int64, count=count)
+    sigmas = np.fromiter((s.sigma_st for s in samples), np.float64, count=count)
+    edges = np.fromiter(
+        (s.edges_explored for s in samples), np.int64, count=count
+    )
+    path_offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((s.nodes.size for s in samples), np.int64, count=count),
+        out=path_offsets[1:],
+    )
+    path_flat = (
+        np.concatenate([s.nodes for s in samples])
+        if count
+        else np.empty(0, dtype=np.int64)
+    )
+    covers = [
+        np.unique(coverage_nodes(s, include_endpoints)) for s in samples
+    ]
+    cov_offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((c.size for c in covers), np.int64, count=count),
+        out=cov_offsets[1:],
+    )
+    cov_flat = (
+        np.concatenate(covers) if count else np.empty(0, dtype=np.int64)
+    )
+    return PackedSamples(
+        sources,
+        targets,
+        distances,
+        sigmas,
+        edges,
+        np.ascontiguousarray(path_flat, dtype=np.int64),
+        path_offsets,
+        np.ascontiguousarray(cov_flat, dtype=np.int64),
+        cov_offsets,
+    )
+
+
+def unpack_samples(packed: PackedSamples) -> list[PathSample]:
+    """Materialize the :class:`~repro.paths.sampler.PathSample` objects
+    of one packed epoch (the ``draw()`` compatibility path)."""
+    offsets = packed.path_offsets
+    return [
+        PathSample(
+            source=int(packed.sources[i]),
+            target=int(packed.targets[i]),
+            nodes=packed.path_flat[offsets[i] : offsets[i + 1]],
+            distance=int(packed.distances[i]),
+            sigma_st=float(packed.sigmas[i]),
+            edges_explored=int(packed.edges[i]),
+        )
+        for i in range(len(packed))
+    ]

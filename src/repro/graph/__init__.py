@@ -36,6 +36,7 @@ from .io import (
     write_edge_list,
     write_weighted_edge_list,
 )
+from .mmap import is_mmap_graph, load_mmap, save_mmap
 from .weighted import WeightedCSRGraph, from_weighted_edges
 
 __all__ = [
@@ -55,6 +56,9 @@ __all__ = [
     "write_edge_list",
     "read_weighted_edge_list",
     "write_weighted_edge_list",
+    "save_mmap",
+    "load_mmap",
+    "is_mmap_graph",
     "weakly_connected_components",
     "strongly_connected_components",
     "giant_component",

@@ -39,6 +39,13 @@ class CSRGraph:
     rev_indptr, rev_indices:
         In-adjacency (required iff ``directed``); for undirected graphs
         these are ignored and aliased to the forward arrays.
+    validate:
+        When ``False``, the O(n + m) structural scans (monotone
+        ``indptr``, in-range ``indices``) are skipped so construction
+        stays O(1) for *trusted* arrays — the out-of-core loader
+        (:mod:`repro.graph.mmap`) opens multi-gigabyte graphs without
+        faulting every page in.  Cheap O(1) shape checks always run.
+        Only pass ``False`` for arrays this package itself wrote.
 
     Notes
     -----
@@ -55,6 +62,7 @@ class CSRGraph:
         "rev_indptr",
         "rev_indices",
         "_num_edges",
+        "mmap_source",
     )
 
     def __init__(
@@ -64,6 +72,7 @@ class CSRGraph:
         directed: bool = False,
         rev_indptr: np.ndarray | None = None,
         rev_indices: np.ndarray | None = None,
+        validate: bool = True,
     ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int32)
@@ -71,16 +80,21 @@ class CSRGraph:
             raise GraphError("indptr must be a non-empty 1-D array")
         if indptr[0] != 0 or indptr[-1] != indices.size:
             raise GraphError("indptr must start at 0 and end at len(indices)")
-        if np.any(np.diff(indptr) < 0):
+        if validate and np.any(np.diff(indptr) < 0):
             raise GraphError("indptr must be non-decreasing")
         n = indptr.size - 1
-        if indices.size and (indices.min() < 0 or indices.max() >= n):
+        if validate and indices.size and (indices.min() < 0 or indices.max() >= n):
             raise GraphError("indices contain node ids outside [0, n)")
 
         self.n = n
         self.directed = bool(directed)
         self.indptr = indptr
         self.indices = indices
+        #: Directory this graph was memory-mapped from
+        #: (:func:`repro.graph.mmap.load_mmap` sets it), or ``None`` for
+        #: in-memory graphs.  Engines use it to re-open the file in
+        #: worker processes instead of copying the arrays into shm.
+        self.mmap_source: str | None = None
 
         if self.directed:
             if rev_indptr is None or rev_indices is None:
@@ -175,15 +189,20 @@ class CSRGraph:
 
     @classmethod
     def from_arrays(
-        cls, arrays: dict[str, np.ndarray], directed: bool = False
+        cls,
+        arrays: dict[str, np.ndarray],
+        directed: bool = False,
+        validate: bool = True,
     ) -> "CSRGraph":
         """Attach a graph to arrays produced by :meth:`export_arrays`.
 
         Zero-copy: arrays already in canonical dtype and layout (which
         :meth:`export_arrays` guarantees) are adopted as-is, so the
-        graph can live directly on a shared-memory buffer owned by the
-        caller — the caller must keep that buffer alive for the
-        lifetime of the graph.
+        graph can live directly on a shared-memory buffer or a
+        memory-mapped file owned by the caller — the caller must keep
+        that buffer alive for the lifetime of the graph.
+        ``validate=False`` skips the O(n + m) structural scans for
+        trusted arrays (see :class:`CSRGraph`).
         """
         return cls(
             arrays["indptr"],
@@ -191,6 +210,7 @@ class CSRGraph:
             directed=directed,
             rev_indptr=arrays.get("rev_indptr"),
             rev_indices=arrays.get("rev_indices"),
+            validate=validate,
         )
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ class WeightedCSRGraph(CSRGraph):
         rev_indptr=None,
         rev_indices=None,
         rev_weights=None,
+        validate=True,
     ):
         super().__init__(
             indptr,
@@ -50,11 +51,12 @@ class WeightedCSRGraph(CSRGraph):
             directed=directed,
             rev_indptr=rev_indptr,
             rev_indices=rev_indices,
+            validate=validate,
         )
         weights = np.ascontiguousarray(weights, dtype=np.int64)
         if weights.shape != self.indices.shape:
             raise GraphError("weights must align with the adjacency indices")
-        if weights.size and weights.min() < 1:
+        if validate and weights.size and weights.min() < 1:
             raise GraphError("edge weights must be positive integers")
         self.weights = weights
         if self.directed:
@@ -83,7 +85,10 @@ class WeightedCSRGraph(CSRGraph):
 
     @classmethod
     def from_arrays(
-        cls, arrays: dict[str, np.ndarray], directed: bool = False
+        cls,
+        arrays: dict[str, np.ndarray],
+        directed: bool = False,
+        validate: bool = True,
     ) -> "WeightedCSRGraph":
         return cls(
             arrays["indptr"],
@@ -93,6 +98,7 @@ class WeightedCSRGraph(CSRGraph):
             rev_indptr=arrays.get("rev_indptr"),
             rev_indices=arrays.get("rev_indices"),
             rev_weights=arrays.get("rev_weights"),
+            validate=validate,
         )
 
     # ------------------------------------------------------------------

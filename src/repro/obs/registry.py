@@ -29,6 +29,13 @@ COUNTERS: frozenset[str] = frozenset(
         "engine.draw_calls",  # draw() invocations served
         "engine.traversals",  # graph traversals executed
         "engine.edges_explored",  # arcs touched across traversals
+        # epoch engine (continuous sampling over persistent workers)
+        "engine.epoch.epochs",  # epochs ingested into the stream
+        "engine.epoch.dispatches",  # epoch tickets issued (incl. in-process)
+        "engine.epoch.discarded",  # speculative epochs dropped at close/reset
+        # out-of-core graph tier (repro.graph.mmap)
+        "graph.mmap.opens",  # memory-mapped graph directories opened
+        "graph.mmap.bytes_mapped",  # bytes attached read-only via np.memmap
         # coverage layer (node->path CSR rebuild accounting)
         "coverage.rebuilds",  # incidence rebuilds paid
         "coverage.rebuilt_elements",  # flat elements re-argsorted
@@ -46,6 +53,7 @@ EVENTS: frozenset[str] = frozenset(
     {
         "iteration",  # one outer-loop iteration of a sampling algorithm
         "capped",  # a sample-budget cap preempted the stopping rule
+        "engine.epoch.barrier",  # one epoch-boundary stopping-rule evaluation
     }
 )
 

@@ -65,8 +65,11 @@ class SamplingSession:
     seed:
         Master seed (or a shared :class:`numpy.random.Generator`) the
         lane streams are derived from.
-    engine, method, include_endpoints, workers, kernel, cache_sources:
-        Engine configuration, recorded as provenance in checkpoints.
+    engine, method, include_endpoints, workers, kernel, cache_sources,
+    epoch_size:
+        Engine configuration, recorded as provenance in checkpoints
+        (``epoch_size`` only applies to the ``"epoch"`` engine; ``None``
+        keeps its default).
     telemetry:
         A :class:`~repro.obs.Telemetry` hub; the session reports
         ``session.*`` counters (samples drawn/reused, extend calls,
@@ -91,6 +94,7 @@ class SamplingSession:
         workers: int | None = None,
         kernel: str = "wavefront",
         cache_sources: int = 0,
+        epoch_size: int | None = None,
         telemetry=None,
         debug: bool = False,
     ):
@@ -106,6 +110,7 @@ class SamplingSession:
             "workers": workers,
             "kernel": kernel,
             "cache_sources": int(cache_sources),
+            "epoch_size": epoch_size,
         }
         self.engines: list[SampleEngine] = [
             create_engine(
@@ -117,6 +122,7 @@ class SamplingSession:
                 workers=workers,
                 kernel=kernel,
                 cache_sources=cache_sources,
+                epoch_size=epoch_size,
                 telemetry=self.telemetry,
                 debug=debug,
             )
@@ -158,7 +164,10 @@ class SamplingSession:
         self.engines[lane].extend(store, upto)
         drawn = store.num_paths - before
         if drawn:
-            store.record_extend(int(upto))
+            # record the size actually reached, not the request: epoch
+            # engines round extends up to the next epoch boundary, and
+            # warm-started sweeps must reuse what is really there
+            store.record_extend(int(store.num_paths))
             self.samples_drawn += drawn
             self.telemetry.count("session.samples_drawn", drawn)
         self.telemetry.count("session.extend_calls", 1)
@@ -260,6 +269,8 @@ class SamplingSession:
                 workers=provenance["workers"],
                 kernel=provenance["kernel"],
                 cache_sources=provenance["cache_sources"],
+                # absent in pre-epoch checkpoints — default applies
+                epoch_size=provenance.get("epoch_size"),
                 telemetry=hub,
                 debug=debug,
             )

@@ -21,6 +21,7 @@ from repro.coverage import CoverageInstance
 from repro.engine import (
     ENGINES,
     BatchEngine,
+    EpochEngine,
     ProcessPoolEngine,
     SerialEngine,
     create_engine,
@@ -51,6 +52,7 @@ class TestFactory:
             "serial": SerialEngine,
             "batch": BatchEngine,
             "process": ProcessPoolEngine,
+            "epoch": EpochEngine,
         }
 
     def test_bad_workers(self, grid3x3):
@@ -243,8 +245,11 @@ class TestDistribution:
 class TestExtend:
     @pytest.mark.parametrize("name", ENGINE_NAMES)
     def test_extend_grows_to_target(self, grid3x3, name):
+        # the epoch engine rounds extends up to epoch boundaries; pick a
+        # size that divides every target so the counts below stay exact
+        kwargs = {"epoch_size": 5} if name == "epoch" else {}
         instance = CoverageInstance(grid3x3.n)
-        with _engine(name, grid3x3, seed=1) as engine:
+        with _engine(name, grid3x3, seed=1, **kwargs) as engine:
             engine.extend(instance, 25)
             assert instance.num_paths == 25
             engine.extend(instance, 10)  # no shrink, no-op
@@ -342,6 +347,33 @@ def _segment_paths(engine):
         os.path.join("/dev/shm", name.lstrip("/"))
         for name in engine._segments.block_names()
     ]
+
+
+class TestPoolChunking:
+    def test_auto_chunks_cap_dispatch_count(self, grid3x3):
+        """Default chunks scale with the draw: big requests never split
+        into more than 8 dispatches (one result pickle each)."""
+        engine = ProcessPoolEngine(grid3x3, workers=0)
+        assert engine._chunk_sizes(500) == [500]
+        assert engine._chunk_sizes(1024) == [1024]
+        assert engine._chunk_sizes(8192) == [1024] * 8
+        assert engine._chunk_sizes(80_000) == [10_000] * 8
+        assert len(engine._chunk_sizes(80_001)) == 8
+        engine.close()
+
+    def test_auto_chunk_layout_is_worker_count_invariant(self, grid3x3):
+        """The layout depends on the request count only — the same
+        guarantee the fixed default gave."""
+        a = ProcessPoolEngine(grid3x3, workers=0)
+        b = ProcessPoolEngine(grid3x3, workers=8)
+        assert a._chunk_sizes(123_456) == b._chunk_sizes(123_456)
+        a.close()
+        b.close()
+
+    def test_explicit_chunk_size_still_honored(self, grid3x3):
+        engine = ProcessPoolEngine(grid3x3, workers=0, chunk_size=16)
+        assert engine._chunk_sizes(40) == [16, 16, 8]
+        engine.close()
 
 
 class TestPoolLifecycle:

@@ -15,12 +15,15 @@ from repro.obs import Telemetry
 
 def _run_engine(name, graph, requests):
     tel = Telemetry()
+    # every request below lands on a 16-boundary, so the epoch engine's
+    # round-up-to-epoch extend semantics yield the same totals
+    extra = {"process": {"workers": 2}, "epoch": {"workers": 2, "epoch_size": 16}}
     engine = create_engine(
         name,
         graph,
         seed=41,
         telemetry=tel,
-        **({"workers": 2} if name == "process" else {}),
+        **extra.get(name, {}),
     )
     with engine:
         instance = CoverageInstance(graph.n)
