@@ -1,0 +1,84 @@
+"""CI regression gate for the weighted wavefront benchmark.
+
+Compares a fresh ``bench_wavefront_weighted`` export against a
+checked-in baseline recorded at the *same* preset and fails when the
+delta-stepping cohort's speedup over the legacy grouped sampler
+regressed by more than the tolerance (default 25%).  Speedups are
+wall-clock ratios measured on one machine, so they transfer across
+runner generations far better than absolute seconds — but only when
+the workloads match, which the script verifies first.  Both sides of
+the ratio are single-process batch-engine rows, so the ratio is stable
+run-to-run (the pool row is reported but never gated on: its wall
+clock swings with scheduler and page-cache state).
+
+Usage::
+
+    python benchmarks/check_wavefront_regression.py BASELINE.json FRESH.json \
+        [--tolerance 0.25]
+
+Exit status 0 on pass, 1 on regression or workload mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: meta keys that define the workload; a baseline from a different
+#: scale must not gate a fresh run (smoke vs bench ratios differ).
+_WORKLOAD_KEYS = ("n", "m", "draws", "max_weight", "seed")
+
+_SPEEDUP_KEY = "speedup_wavefront_vs_grouped"
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in bench_wavefront_weighted export")
+    parser.add_argument("fresh", help="bench_wavefront_weighted export from this run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+
+    mismatched = [
+        key
+        for key in _WORKLOAD_KEYS
+        if baseline["meta"].get(key) != fresh["meta"].get(key)
+    ]
+    if mismatched:
+        print(
+            "bench_wavefront_weighted workloads differ on "
+            f"{', '.join(mismatched)} — baseline "
+            f"{ {k: baseline['meta'].get(k) for k in mismatched} } vs fresh "
+            f"{ {k: fresh['meta'].get(k) for k in mismatched} }; "
+            "regenerate the baseline at this preset before gating on it",
+            file=sys.stderr,
+        )
+        return 1
+
+    reference = float(baseline["meta"][_SPEEDUP_KEY])
+    observed = float(fresh["meta"][_SPEEDUP_KEY])
+    floor = reference * (1.0 - args.tolerance)
+    verdict = "ok" if observed >= floor else "REGRESSION"
+    print(
+        f"weighted wavefront-vs-grouped speedup: fresh {observed:.2f}x, "
+        f"baseline {reference:.2f}x, floor {floor:.2f}x "
+        f"(tolerance {args.tolerance:.0%}) -> {verdict}"
+    )
+    return 0 if observed >= floor else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,7 @@ class AdaAlg(SamplingAlgorithm):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         max_samples: int | None = None,
         validation_set: bool = True,
         telemetry=None,
@@ -123,6 +124,7 @@ class AdaAlg(SamplingAlgorithm):
             kernel=kernel,
             cache_sources=cache_sources,
             epoch_size=epoch_size,
+            delta=delta,
             telemetry=telemetry,
             debug=debug,
             session=session,
@@ -210,7 +212,7 @@ class AdaAlg(SamplingAlgorithm):
                     with telemetry.span("sample", set="S", target=target):
                         session.extend(target, lane=0)
                     with telemetry.span("greedy"):
-                        cover = greedy_max_cover(selection, k)
+                        cover = greedy_max_cover(selection, k, telemetry=telemetry)
                     group = cover.group
                     biased = cover.covered / selection.num_paths * pairs
 
@@ -321,7 +323,7 @@ class AdaAlg(SamplingAlgorithm):
         with self.telemetry.span("sample", set="S", target=self.max_samples):
             session.extend(self.max_samples, lane=0)
         with self.telemetry.span("greedy"):
-            cover = greedy_max_cover(selection, k)
+            cover = greedy_max_cover(selection, k, telemetry=self.telemetry)
         biased = (
             cover.covered / selection.num_paths * pairs
             if selection.num_paths

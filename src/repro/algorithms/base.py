@@ -131,6 +131,11 @@ class SamplingAlgorithm(GBCAlgorithm):
         other engines; ``None`` keeps the engine default).  Part of the
         determinism contract: results are a pure function of
         ``(seed, epoch_size)``, never of the worker count.
+    delta:
+        Bucket width of the weighted delta-stepping wavefront kernel
+        (ignored on unweighted graphs; ``None`` auto-tunes from the
+        mean edge weight).  Result-invariant — any value >= 1 yields
+        bit-identical runs, the knob only shifts kernel work.
     telemetry:
         An optional :class:`~repro.obs.Telemetry` hub the run reports
         to: timed spans around sampling/greedy phases, per-iteration
@@ -182,6 +187,7 @@ class SamplingAlgorithm(GBCAlgorithm):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         telemetry=None,
         debug: bool = False,
         session: SamplingSession | None = None,
@@ -210,6 +216,8 @@ class SamplingAlgorithm(GBCAlgorithm):
             )
         if epoch_size is not None and epoch_size < 1:
             raise ParameterError(f"epoch_size must be >= 1, got {epoch_size}")
+        if delta is not None and delta < 1:
+            raise ParameterError(f"delta must be >= 1, got {delta}")
         if checkpoint_every < 1:
             raise ParameterError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -238,6 +246,7 @@ class SamplingAlgorithm(GBCAlgorithm):
         self.kernel = kernel
         self.cache_sources = cache_sources
         self.epoch_size = epoch_size
+        self.delta = delta
         self.telemetry = as_telemetry(telemetry)
         self.debug = debug
         self.session = session
@@ -314,6 +323,7 @@ class SamplingAlgorithm(GBCAlgorithm):
             kernel=self.kernel,
             cache_sources=self.cache_sources,
             epoch_size=self.epoch_size,
+            delta=self.delta,
             telemetry=self.telemetry,
             debug=self.debug,
         )
@@ -334,6 +344,7 @@ class SamplingAlgorithm(GBCAlgorithm):
             "include_endpoints": self.include_endpoints,
             "sampler_method": self.sampler_method,
             "epoch_size": self.epoch_size,
+            "delta": self.delta,
         }
 
     def _checkpoint(
@@ -407,6 +418,7 @@ class SamplingAlgorithm(GBCAlgorithm):
                 kernel=self.kernel,
                 cache_sources=self.cache_sources,
                 epoch_size=self.epoch_size,
+                delta=self.delta,
                 telemetry=self.telemetry,
                 debug=self.debug,
             )
@@ -424,8 +436,9 @@ class SamplingAlgorithm(GBCAlgorithm):
             "edges_explored": sum(s["edges_explored"] for s in stats),
             "engine": {
                 "name": self.engine,
-                # the kernel the engines actually run (after weighted /
-                # non-bidirectional fallback); None for kernel-less engines
+                # the kernel the engines actually run (after the
+                # forward-method fallback — weighted graphs now run the
+                # cohort kernels natively); None for kernel-less engines
                 "kernel": getattr(engines[0], "kernel", None) if engines else None,
                 "stats": stats,
             },

@@ -51,6 +51,7 @@ class CentRa(Hedge):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         max_samples: int | None = None,
         empirical_stop: bool = False,
         era_draws: int = 8,
@@ -74,6 +75,7 @@ class CentRa(Hedge):
             kernel=kernel,
             cache_sources=cache_sources,
             epoch_size=epoch_size,
+            delta=delta,
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,
@@ -152,7 +154,7 @@ class CentRa(Hedge):
                     with telemetry.span("sample", target=target):
                         session.extend(target, lane=0)
                     with telemetry.span("greedy"):
-                        cover = greedy_max_cover(instance, k)
+                        cover = greedy_max_cover(instance, k, telemetry=telemetry)
                     group = cover.group
                     estimate = cover.covered / instance.num_paths * pairs
 

@@ -48,6 +48,7 @@ class Exhaust(Hedge):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
@@ -68,6 +69,7 @@ class Exhaust(Hedge):
             kernel=kernel,
             cache_sources=cache_sources,
             epoch_size=epoch_size,
+            delta=delta,
             max_samples=max_samples,
             telemetry=telemetry,
             debug=debug,
@@ -103,7 +105,7 @@ class Exhaust(Hedge):
                     session.extend(self.num_samples, lane=0)
                 self._checkpoint(session, k, {"drawn": True})
                 with telemetry.span("greedy"):
-                    cover = greedy_max_cover(instance, k)
+                    cover = greedy_max_cover(instance, k, telemetry=telemetry)
         finally:
             if owns:
                 session.close()

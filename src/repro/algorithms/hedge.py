@@ -57,6 +57,7 @@ class Hedge(SamplingAlgorithm):
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         max_samples: int | None = None,
         telemetry=None,
         debug: bool = False,
@@ -77,6 +78,7 @@ class Hedge(SamplingAlgorithm):
             kernel=kernel,
             cache_sources=cache_sources,
             epoch_size=epoch_size,
+            delta=delta,
             telemetry=telemetry,
             debug=debug,
             session=session,
@@ -153,7 +155,7 @@ class Hedge(SamplingAlgorithm):
                     with telemetry.span("sample", target=target):
                         session.extend(target, lane=0)
                     with telemetry.span("greedy"):
-                        cover = greedy_max_cover(instance, k)
+                        cover = greedy_max_cover(instance, k, telemetry=telemetry)
                     group = cover.group
                     estimate = cover.covered / instance.num_paths * pairs
                     if estimate >= guess:

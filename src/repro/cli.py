@@ -200,9 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--kernel",
             choices=list(KERNELS),
             default="wavefront",
-            help="traversal kernel for the batch/process engines "
+            help="traversal kernel for the batch/process/epoch engines "
             "(default wavefront; results are identical across "
-            "wavefront and scalar)",
+            "wavefront and scalar, on unweighted and weighted graphs "
+            "alike — weighted inputs run the delta-stepping cohort)",
+        )
+        parser_.add_argument(
+            "--delta",
+            type=int,
+            default=None,
+            metavar="W",
+            help="bucket width of the weighted delta-stepping kernel "
+            "(default: auto-tuned from the mean edge weight; any value "
+            ">= 1 yields identical results — the knob only shifts "
+            "kernel work)",
         )
         parser_.add_argument(
             "--cache-sources",
@@ -383,6 +394,7 @@ def _make_algorithm(
     kernel: str = "wavefront",
     cache_sources: int = 0,
     epoch_size: int | None = None,
+    delta: int | None = None,
     telemetry=None,
     debug: bool = False,
     checkpoint_path: str | None = None,
@@ -396,6 +408,7 @@ def _make_algorithm(
         "kernel": kernel,
         "cache_sources": cache_sources,
         "epoch_size": epoch_size,
+        "delta": delta,
         "telemetry": telemetry,
         "debug": debug,
         "checkpoint_path": checkpoint_path,
@@ -561,6 +574,7 @@ def _cmd_run(args) -> int:
         args.kernel,
         args.cache_sources,
         epoch_size=args.epoch_size,
+        delta=args.delta,
         telemetry=telemetry,
         debug=args.debug_invariants,
         checkpoint_path=args.checkpoint,
@@ -583,6 +597,7 @@ def _cmd_run(args) -> int:
             "kernel": args.kernel,
             "cache_sources": args.cache_sources,
             "epoch_size": args.epoch_size,
+            "delta": args.delta,
             "mmap": args.mmap,
         }
     try:
@@ -626,6 +641,7 @@ def _cmd_resume(args) -> int:
         saved.get("kernel", "wavefront"),
         saved.get("cache_sources", 0),
         epoch_size=saved.get("epoch_size"),
+        delta=saved.get("delta"),
         telemetry=telemetry,
         debug=args.debug_invariants,
         checkpoint_path=args.checkpoint or path,
@@ -637,6 +653,7 @@ def _cmd_resume(args) -> int:
     args.workers = saved.get("workers")
     args.kernel = saved.get("kernel", "wavefront")
     args.epoch_size = saved.get("epoch_size")
+    args.delta = saved.get("delta")
     print(f"resuming    : {path} ({state['algorithm']}, "
           f"K={state['k']}, {sum(meta['num_paths'])} samples banked)")
     try:
@@ -663,6 +680,7 @@ def _cmd_compare(args) -> int:
                 args.kernel,
                 args.cache_sources,
                 epoch_size=args.epoch_size,
+                delta=args.delta,
                 telemetry=telemetry,
                 debug=args.debug_invariants,
             )

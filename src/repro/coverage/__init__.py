@@ -1,11 +1,12 @@
 """Maximum-coverage substrate: path/node incidence + lazy greedy."""
 
-from .greedy import GreedyCoverResult, greedy_max_cover
+from .greedy import DEFAULT_EVAL_BATCH, GreedyCoverResult, greedy_max_cover
 from .hypergraph import CoverageInstance
 from .local_search import LocalSearchResult, swap_local_search
 
 __all__ = [
     "CoverageInstance",
+    "DEFAULT_EVAL_BATCH",
     "GreedyCoverResult",
     "greedy_max_cover",
     "LocalSearchResult",

@@ -85,17 +85,19 @@ def create_engine(
     kernel: str = "wavefront",
     cache_sources: int = 0,
     epoch_size: int | None = None,
+    delta: int | None = None,
     telemetry=None,
     debug: bool = False,
 ) -> SampleEngine:
     """Instantiate the engine registered under ``name``.
 
     ``workers`` only applies to the process/epoch engines, ``kernel``
-    to the batch/process/epoch engines, and ``epoch_size`` to the
-    epoch engine (``None`` keeps its default); passing them with other
-    engines is accepted (and ignored) so callers can thread a single
-    set of knobs through unconditionally.  ``cache_sources`` applies
-    everywhere.  ``telemetry`` attaches a
+    and ``delta`` (the weighted delta-stepping bucket width,
+    result-invariant) to the batch/process/epoch engines, and
+    ``epoch_size`` to the epoch engine (``None`` keeps its default);
+    passing them with other engines is accepted (and ignored) so
+    callers can thread a single set of knobs through unconditionally.
+    ``cache_sources`` applies everywhere.  ``telemetry`` attaches a
     :class:`~repro.obs.Telemetry` hub the engine reports draws to, and
     ``debug`` turns on the per-draw invariant validators
     (:mod:`repro.obs.invariants`).
@@ -108,6 +110,8 @@ def create_engine(
     resolve_kernel(kernel, graph, method)  # reject unknown names early
     if epoch_size is not None and epoch_size < 1:
         raise ParameterError(f"epoch_size must be >= 1, got {epoch_size}")
+    if delta is not None and delta < 1:
+        raise ParameterError(f"delta must be >= 1, got {delta}")
     kwargs = {
         "seed": seed,
         "method": method,
@@ -116,6 +120,7 @@ def create_engine(
     }
     if issubclass(cls, (BatchEngine, ProcessPoolEngine, EpochEngine)):
         kwargs["kernel"] = kernel
+        kwargs["delta"] = delta
     if issubclass(cls, (ProcessPoolEngine, EpochEngine)):
         kwargs["workers"] = workers
     if issubclass(cls, EpochEngine) and epoch_size is not None:

@@ -28,6 +28,7 @@ The contract every engine honors:
 from __future__ import annotations
 
 import abc
+import warnings
 import weakref
 from dataclasses import dataclass, field
 
@@ -53,12 +54,16 @@ __all__ = [
 #: Traversal kernels an engine can route batched draws through.
 #:
 #: ``"wavefront"``
-#:     Level-synchronous multi-query bidirectional BFS — many queries
-#:     advanced per numpy call (:mod:`repro.paths.wavefront`).
+#:     Vectorized multi-query cohort search — the level-synchronous
+#:     bidirectional BFS (:mod:`repro.paths.wavefront`) on unweighted
+#:     graphs, the bucketed delta-stepping kernel
+#:     (:mod:`repro.paths.wavefront_weighted`) on weighted ones; many
+#:     queries advanced per numpy call either way.
 #: ``"scalar"``
-#:     The same pair-first cohort schedule, one
-#:     :func:`~repro.paths.bidirectional.bidirectional_search` per
-#:     query.  Bit-identical samples to ``"wavefront"``.
+#:     The same pair-first cohort schedule, one scalar search
+#:     (:func:`~repro.paths.bidirectional.bidirectional_search` /
+#:     :func:`~repro.paths.dijkstra.dijkstra_sigma`) per query.
+#:     Bit-identical samples to ``"wavefront"``.
 #: ``"grouped"``
 #:     The legacy source-grouped amortized batch sampler
 #:     (:meth:`~repro.paths.sampler.PathSampler.sample_batch`) — a
@@ -70,18 +75,24 @@ KERNELS = ("wavefront", "scalar", "grouped")
 def resolve_kernel(kernel: str, graph: CSRGraph, method: str) -> str:
     """Validate ``kernel`` and apply the automatic fallbacks.
 
-    The cohort kernels require the unweighted bidirectional method;
-    ``"wavefront"`` (and ``"scalar"``) degrade to ``"grouped"`` on
-    weighted graphs or non-bidirectional methods, mirroring the
-    sampler's own dispatch.  Unknown names raise
-    :class:`~repro.exceptions.ParameterError`.
+    Both graph classes run the cohort kernels now — weighted graphs
+    route ``"wavefront"``/``"scalar"`` through the delta-stepping
+    cohort path instead of silently degrading.  The only remaining
+    fallback is the unweighted ``"forward"`` method, which has no
+    cohort schedule and degrades to ``"grouped"`` (engines surface
+    that via the ``paths.kernel_fallbacks`` counter and a warning).
+    Unknown names raise :class:`~repro.exceptions.ParameterError`.
     """
     if kernel not in KERNELS:
         known = ", ".join(KERNELS)
         raise ParameterError(
             f"unknown traversal kernel {kernel!r}; expected one of: {known}"
         )
-    if kernel != "grouped" and (is_weighted(graph) or method != "bidirectional"):
+    if kernel == "grouped":
+        return "grouped"
+    if is_weighted(graph):
+        return kernel
+    if method != "bidirectional":
         return "grouped"
     return kernel
 
@@ -138,6 +149,17 @@ class EngineStats:
     cache_hits, cache_misses:
         Forward-BFS tree cache activity (``cache_sources`` knob);
         both zero when the cache is disabled.
+    weighted_cohorts:
+        Weighted cohort draws executed
+        (:meth:`~repro.paths.sampler.PathSampler.sample_cohort` on a
+        weighted graph); 0 on unweighted inputs.
+    bucket_relaxations:
+        Per-query level relaxation rounds of the weighted
+        delta-stepping kernel — its main work counter (0 for the
+        scalar kernel, which has no buckets).
+    kernel_fallbacks:
+        Requested cohort kernels that degraded to ``"grouped"``
+        (at most 1 per engine; also warned about once).
     coverage_rebuilds, coverage_rebuilt_elements:
         Node→path CSR rebuilds of the coverage instances this engine
         extends, and the total flat-array elements re-argsorted by
@@ -158,6 +180,9 @@ class EngineStats:
     pool_startups: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    weighted_cohorts: int = 0
+    bucket_relaxations: int = 0
+    kernel_fallbacks: int = 0
     coverage_rebuilds: int = 0
     coverage_rebuilt_elements: int = 0
 
@@ -176,6 +201,9 @@ class EngineStats:
             "pool_startups": self.pool_startups,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "weighted_cohorts": self.weighted_cohorts,
+            "bucket_relaxations": self.bucket_relaxations,
+            "kernel_fallbacks": self.kernel_fallbacks,
             "coverage_rebuilds": self.coverage_rebuilds,
             "coverage_rebuilt_elements": self.coverage_rebuilt_elements,
         }
@@ -243,6 +271,24 @@ class SampleEngine(abc.ABC):
         # counting when several instances share one engine
         self._coverage_seen: weakref.WeakKeyDictionary = (
             weakref.WeakKeyDictionary()
+        )
+        self._fallback_noted = False
+
+    # ------------------------------------------------------------------
+    def _note_kernel_fallback(self, requested: str) -> None:
+        """Record — once, at draw time, after telemetry is attached —
+        that the requested cohort kernel degraded to the legacy grouped
+        path, so fallbacks are observable instead of silent."""
+        if self._fallback_noted:
+            return
+        self._fallback_noted = True
+        self.stats.kernel_fallbacks += 1
+        self.telemetry.count("paths.kernel_fallbacks", 1)
+        warnings.warn(
+            f"traversal kernel {requested!r} has no cohort schedule for "
+            f"method={self.method!r}; falling back to the 'grouped' sampler",
+            RuntimeWarning,
+            stacklevel=4,
         )
 
     # ------------------------------------------------------------------
@@ -313,13 +359,27 @@ class SampleEngine(abc.ABC):
             return
         telemetry = self.telemetry
         stats = self.stats
-        before = (stats.samples, stats.traversals, stats.edges_explored)
+        before = (
+            stats.samples,
+            stats.traversals,
+            stats.edges_explored,
+            stats.weighted_cohorts,
+            stats.bucket_relaxations,
+        )
         with telemetry.span("draw", engine=self.name, count=missing):
             samples = self.draw(missing)
         telemetry.count("engine.samples", stats.samples - before[0])
         telemetry.count("engine.draw_calls", 1)
         telemetry.count("engine.traversals", stats.traversals - before[1])
         telemetry.count("engine.edges_explored", stats.edges_explored - before[2])
+        if stats.weighted_cohorts != before[3]:
+            telemetry.count(
+                "paths.weighted_cohorts", stats.weighted_cohorts - before[3]
+            )
+        if stats.bucket_relaxations != before[4]:
+            telemetry.count(
+                "paths.bucket_relaxations", stats.bucket_relaxations - before[4]
+            )
         if self.debug:
             for sample in samples:
                 check_sample(self.graph, sample)

@@ -84,6 +84,7 @@ def _epoch_worker(
     method: str,
     kernel: str,
     cohort_size: int | None,
+    delta: int | None,
     cache_sources: int,
     include_endpoints: bool,
     tasks,
@@ -107,14 +108,21 @@ def _epoch_worker(
                 break
             index, seed, size = ticket
             try:
-                samples, traversals, edges, hits, misses = _chunk_samples(
-                    graph, method, kernel, cohort_size, cache_sources, seed, size
+                samples, *info = _chunk_samples(
+                    graph,
+                    method,
+                    kernel,
+                    cohort_size,
+                    delta,
+                    cache_sources,
+                    seed,
+                    size,
                 )
             except Exception as exc:
                 results.put((index, pid, None, repr(exc)))
                 continue
             packed = pack_samples(samples, include_endpoints)
-            results.put((index, pid, packed, (traversals, edges, hits, misses)))
+            results.put((index, pid, packed, tuple(info)))
     finally:
         del graph
         for handle in handles:
@@ -138,7 +146,13 @@ class EpochEngine(SampleEngine):
         does not.
     kernel, cohort_size:
         Traversal kernel each epoch runs through (see
-        :data:`repro.engine.base.KERNELS`) and its cohort width.
+        :data:`repro.engine.base.KERNELS`) and its cohort width; on
+        weighted graphs the cohort kernels run the delta-stepping
+        wavefront, whose results pack through the same
+        :class:`~repro.engine.wire.PackedSamples` wire format.
+    delta:
+        Weighted delta-stepping bucket width forwarded to each epoch
+        (result-invariant; ``None`` auto-tunes).
     lookahead:
         Speculative epochs kept in flight per worker beyond current
         demand.  ``0`` disables speculation (strict demand-driven
@@ -162,6 +176,7 @@ class EpochEngine(SampleEngine):
         epoch_size: int = _DEFAULT_EPOCH,
         kernel: str = "wavefront",
         cohort_size: int | None = None,
+        delta: int | None = None,
         lookahead: int = 2,
     ):
         super().__init__(
@@ -179,8 +194,10 @@ class EpochEngine(SampleEngine):
             raise ParameterError(f"lookahead must be >= 0, got {lookahead}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.epoch_size = int(epoch_size)
+        self.requested_kernel = kernel
         self.kernel = resolve_kernel(kernel, graph, method)
         self.cohort_size = cohort_size
+        self.delta = delta
         self.lookahead = int(lookahead)
         #: Entropy word keying the indexed family of epoch streams
         #: (:func:`repro._rng.indexed_seed`); drawn once from the
@@ -235,6 +252,7 @@ class EpochEngine(SampleEngine):
                         self.method,
                         self.kernel,
                         self.cohort_size,
+                        self.delta,
                         self.cache_sources,
                         self.include_endpoints,
                         self._tasks,
@@ -328,11 +346,12 @@ class EpochEngine(SampleEngine):
         self.stats.dispatches += 1
         self.telemetry.count("engine.epoch.dispatches", 1)
         try:
-            samples, traversals, edges, hits, misses = _chunk_samples(
+            samples, *info = _chunk_samples(
                 self.graph,
                 self.method,
                 self.kernel,
                 self.cohort_size,
+                self.delta,
                 self.cache_sources,
                 seed,
                 self.epoch_size,
@@ -343,7 +362,7 @@ class EpochEngine(SampleEngine):
                 f"failed: {exc}"
             ) from exc
         packed = pack_samples(samples, self.include_endpoints)
-        return packed, (traversals, edges, hits, misses), os.getpid()
+        return packed, tuple(info), os.getpid()
 
     def _await(self, index: int):
         """Block until epoch ``index`` arrives from the workers,
@@ -368,6 +387,8 @@ class EpochEngine(SampleEngine):
     def _next_epoch(self) -> tuple:
         """The next epoch of the stream, in index order — from the
         buffer, the workers, or computed here; always deterministic."""
+        if self.kernel == "grouped" and self.requested_kernel != "grouped":
+            self._note_kernel_fallback(self.requested_kernel)
         index = self._ingested
         if index in self._arrived:
             entry = self._arrived.pop(index)
@@ -387,11 +408,13 @@ class EpochEngine(SampleEngine):
 
     def _fold_info(self, entry: tuple) -> None:
         packed, info, pid = entry
-        traversals, edges, hits, misses = info
+        traversals, edges, hits, misses, cohorts, relaxations = info
         self.stats.traversals += traversals
         self.stats.edges_explored += edges
         self.stats.cache_hits += hits
         self.stats.cache_misses += misses
+        self.stats.weighted_cohorts += cohorts
+        self.stats.bucket_relaxations += relaxations
         self.stats.worker_samples[pid] = self.stats.worker_samples.get(
             pid, 0
         ) + len(packed)
@@ -461,7 +484,12 @@ class EpochEngine(SampleEngine):
         epochs_needed = (needed - len(self._carry)) // self.epoch_size
         telemetry = self.telemetry
         stats = self.stats
-        before = (stats.traversals, stats.edges_explored)
+        before = (
+            stats.traversals,
+            stats.edges_explored,
+            stats.weighted_cohorts,
+            stats.bucket_relaxations,
+        )
         appended = 0
         with telemetry.span("draw", engine=self.name, count=needed):
             if self._carry:
@@ -486,6 +514,15 @@ class EpochEngine(SampleEngine):
         telemetry.count("engine.draw_calls", 1)
         telemetry.count("engine.traversals", stats.traversals - before[0])
         telemetry.count("engine.edges_explored", stats.edges_explored - before[1])
+        if stats.weighted_cohorts != before[2]:
+            telemetry.count(
+                "paths.weighted_cohorts", stats.weighted_cohorts - before[2]
+            )
+        if stats.bucket_relaxations != before[3]:
+            telemetry.count(
+                "paths.bucket_relaxations",
+                stats.bucket_relaxations - before[3],
+            )
         telemetry.event(
             "engine.epoch.barrier",
             epochs=epochs_needed,

@@ -85,6 +85,7 @@ def _init_worker(
     method: str,
     kernel: str,
     cohort_size: int | None,
+    delta: int | None,
     cache_sources: int,
 ) -> None:
     graph, handles = _materialize_graph(transport, payload)
@@ -95,6 +96,7 @@ def _init_worker(
         method=method,
         kernel=kernel,
         cohort_size=cohort_size,
+        delta=delta,
         cache_sources=cache_sources,
     )
 
@@ -104,15 +106,17 @@ def _chunk_samples(
     method: str,
     kernel: str,
     cohort_size: int | None,
+    delta: int | None,
     cache_sources: int,
     seed: int,
     count: int,
-) -> tuple[list[PathSample], int, int, int, int]:
+) -> tuple[list[PathSample], int, int, int, int, int, int]:
     """One chunk of samples from its own seeded stream.
 
-    The single chunk body shared by pool workers and the in-process
-    fallback — the reason results are bit-identical across worker
-    counts.  Returns ``(samples, traversals, edges, hits, misses)``.
+    The single chunk body shared by pool workers, epoch workers, and
+    the in-process fallback — the reason results are bit-identical
+    across worker counts.  Returns ``(samples, traversals, edges,
+    hits, misses, weighted_cohorts, bucket_relaxations)``.
     """
     sampler = PathSampler(
         graph, seed=seed, method=method, cache_sources=cache_sources
@@ -121,13 +125,17 @@ def _chunk_samples(
     if cohort is None:
         samples = sampler.sample_batch(count)
     else:
-        samples = sampler.sample_cohort(count, kernel=cohort, cohort_size=cohort_size)
+        samples = sampler.sample_cohort(
+            count, kernel=cohort, cohort_size=cohort_size, delta=delta
+        )
     return (
         samples,
         sampler.total_traversals,
         sampler.total_edges_explored,
         sampler.cache_hits,
         sampler.cache_misses,
+        sampler.total_weighted_cohorts,
+        sampler.total_bucket_relaxations,
     )
 
 
@@ -139,6 +147,7 @@ def _draw_chunk(seed: int, count: int):
         state["method"],
         state["kernel"],
         state["cohort_size"],
+        state["delta"],
         state["cache_sources"],
         seed,
         count,
@@ -168,10 +177,14 @@ class ProcessPoolEngine(SampleEngine):
     kernel:
         Per-chunk traversal kernel: ``"wavefront"`` (default),
         ``"scalar"``, or the legacy ``"grouped"`` — see
-        :data:`repro.engine.base.KERNELS`.  Weighted graphs fall back
-        to ``"grouped"`` automatically.
+        :data:`repro.engine.base.KERNELS`.  Weighted graphs run the
+        delta-stepping cohort kernel; only the unweighted
+        ``"forward"`` method still falls back to ``"grouped"``.
     cohort_size:
         Wavefront cohort width forwarded to each chunk.
+    delta:
+        Weighted delta-stepping bucket width forwarded to each chunk
+        (result-invariant; ``None`` auto-tunes).
     cache_sources:
         Per-worker forward-BFS tree cache size (``"grouped"`` kernel
         only; caches are per-chunk, so this mainly helps large chunks).
@@ -190,6 +203,7 @@ class ProcessPoolEngine(SampleEngine):
         chunk_size: int | None = None,
         kernel: str = "wavefront",
         cohort_size: int | None = None,
+        delta: int | None = None,
     ):
         super().__init__(
             graph,
@@ -204,8 +218,10 @@ class ProcessPoolEngine(SampleEngine):
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.requested_kernel = kernel
         self.kernel = resolve_kernel(kernel, graph, method)
         self.cohort_size = cohort_size
+        self.delta = delta
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
         self._segments: SharedGraphBlocks | None = None
@@ -241,6 +257,7 @@ class ProcessPoolEngine(SampleEngine):
                         self.method,
                         self.kernel,
                         self.cohort_size,
+                        self.delta,
                         self.cache_sources,
                     ),
                 )
@@ -269,6 +286,8 @@ class ProcessPoolEngine(SampleEngine):
             return []
         sizes = self._chunk_sizes(count)
         seeds = spawn_seeds(self._rng, len(sizes))
+        if self.kernel == "grouped" and self.requested_kernel != "grouped":
+            self._note_kernel_fallback(self.requested_kernel)
         pool = self._ensure_pool()
 
         results = []
@@ -312,6 +331,7 @@ class ProcessPoolEngine(SampleEngine):
                         self.method,
                         self.kernel,
                         self.cohort_size,
+                        self.delta,
                         self.cache_sources,
                         seed,
                         size,
@@ -325,12 +345,15 @@ class ProcessPoolEngine(SampleEngine):
                 results.append((os.getpid(), *chunk))
 
         samples: list[PathSample] = []
-        for pid, chunk, traversals, edges, hits, misses in results:
+        for result in results:
+            pid, chunk, traversals, edges, hits, misses, cohorts, relaxations = result
             samples.extend(chunk)
             self.stats.traversals += traversals
             self.stats.edges_explored += edges
             self.stats.cache_hits += hits
             self.stats.cache_misses += misses
+            self.stats.weighted_cohorts += cohorts
+            self.stats.bucket_relaxations += relaxations
             self.stats.worker_samples[pid] = (
                 self.stats.worker_samples.get(pid, 0) + len(chunk)
             )

@@ -6,10 +6,12 @@ one balanced traversal per sample, while requests of at least ``n``
 samples switch to the source-grouped batch sampler (one full BFS per
 distinct source).  :class:`BatchEngine` always batches, and carries the
 ``kernel`` knob: the default ``"wavefront"`` routes every draw through
-the vectorized multi-query bidirectional kernel
-(:mod:`repro.paths.wavefront`), ``"scalar"`` runs the same cohort
-schedule one search at a time (bit-identical samples), and
-``"grouped"`` keeps the legacy source-grouped amortization.
+a vectorized multi-query kernel — the level-synchronous bidirectional
+BFS (:mod:`repro.paths.wavefront`) on unweighted graphs, the bucketed
+delta-stepping cohort (:mod:`repro.paths.wavefront_weighted`) on
+weighted ones — ``"scalar"`` runs the same cohort schedule one search
+at a time (bit-identical samples), and ``"grouped"`` keeps the legacy
+source-grouped amortization.
 """
 
 from __future__ import annotations
@@ -68,6 +70,8 @@ class SerialEngine(SampleEngine):
         traversals_before = sampler.total_traversals
         hits_before = sampler.cache_hits
         misses_before = sampler.cache_misses
+        cohorts_before = sampler.total_weighted_cohorts
+        relaxations_before = sampler.total_bucket_relaxations
         samples = self._draw_samples(count)
         self.stats.samples += count
         self.stats.draw_calls += 1
@@ -75,6 +79,12 @@ class SerialEngine(SampleEngine):
         self.stats.edges_explored += sampler.total_edges_explored - edges_before
         self.stats.cache_hits += sampler.cache_hits - hits_before
         self.stats.cache_misses += sampler.cache_misses - misses_before
+        self.stats.weighted_cohorts += (
+            sampler.total_weighted_cohorts - cohorts_before
+        )
+        self.stats.bucket_relaxations += (
+            sampler.total_bucket_relaxations - relaxations_before
+        )
         return samples
 
 
@@ -85,13 +95,18 @@ class BatchEngine(SerialEngine):
     ----------
     kernel:
         ``"wavefront"`` (default) or ``"scalar"`` use the pair-first
-        cohort schedule (bit-identical samples to each other);
-        ``"grouped"`` keeps the legacy source-grouped amortized
-        sampler.  Weighted graphs and non-bidirectional methods
-        automatically fall back to ``"grouped"``.
+        cohort schedule (bit-identical samples to each other) on both
+        unweighted and weighted graphs; ``"grouped"`` keeps the legacy
+        source-grouped amortized sampler.  Only the unweighted
+        ``"forward"`` method still falls back to ``"grouped"`` (noted
+        via the ``paths.kernel_fallbacks`` counter and a warning).
     cohort_size:
         Concurrent queries per wavefront cohort (``None`` = the
         kernel's default).
+    delta:
+        Bucket width of the weighted delta-stepping kernel
+        (result-invariant; ``None`` auto-tunes from the mean edge
+        weight).  Ignored on unweighted graphs.
     """
 
     name = "batch"
@@ -105,6 +120,7 @@ class BatchEngine(SerialEngine):
         cache_sources: int = 0,
         kernel: str = "wavefront",
         cohort_size: int | None = None,
+        delta: int | None = None,
     ):
         super().__init__(
             graph,
@@ -113,8 +129,10 @@ class BatchEngine(SerialEngine):
             include_endpoints=include_endpoints,
             cache_sources=cache_sources,
         )
+        self.requested_kernel = kernel
         self.kernel = resolve_kernel(kernel, graph, method)
         self.cohort_size = cohort_size
+        self.delta = delta
 
     def _use_batch(self, count: int) -> bool:
         return count > 0
@@ -122,8 +140,13 @@ class BatchEngine(SerialEngine):
     def _draw_samples(self, count: int) -> list[PathSample]:
         kernel = cohort_kernel(self.kernel, self.graph, self.method)
         if kernel is None or count == 0:
+            if kernel is None and count and self.requested_kernel != "grouped":
+                self._note_kernel_fallback(self.requested_kernel)
             return super()._draw_samples(count)
         self.stats.batches += 1
         return self._sampler.sample_cohort(
-            count, kernel=kernel, cohort_size=self.cohort_size
+            count,
+            kernel=kernel,
+            cohort_size=self.cohort_size,
+            delta=self.delta,
         )

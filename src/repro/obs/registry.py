@@ -36,9 +36,14 @@ COUNTERS: frozenset[str] = frozenset(
         # out-of-core graph tier (repro.graph.mmap)
         "graph.mmap.opens",  # memory-mapped graph directories opened
         "graph.mmap.bytes_mapped",  # bytes attached read-only via np.memmap
+        # weighted wavefront kernel (repro.paths.wavefront_weighted)
+        "paths.weighted_cohorts",  # weighted cohort draws executed
+        "paths.bucket_relaxations",  # delta-stepping level relaxation rounds
+        "paths.kernel_fallbacks",  # cohort kernels degraded to 'grouped'
         # coverage layer (node->path CSR rebuild accounting)
         "coverage.rebuilds",  # incidence rebuilds paid
         "coverage.rebuilt_elements",  # flat elements re-argsorted
+        "coverage.batched_evals",  # CELF marginal gains evaluated in batches
         # session layer (SamplingSession)
         "session.samples_drawn",  # samples drawn through extend()
         "session.extend_calls",  # extend() requests served

@@ -9,6 +9,7 @@ from .exact_gbc import exact_gbc, normalized_gbc
 from .pair_sampler import PairSample, PairSampler, shortest_path_dag
 from .sampler import PathSample, PathSampler
 from .wavefront import DEFAULT_COHORT, wavefront_search
+from .wavefront_weighted import WeightedSearchResult, wavefront_weighted_search
 
 __all__ = [
     "bfs_distances",
@@ -28,4 +29,6 @@ __all__ = [
     "PathSampler",
     "DEFAULT_COHORT",
     "wavefront_search",
+    "WeightedSearchResult",
+    "wavefront_weighted_search",
 ]

@@ -33,6 +33,7 @@ from .bfs import bfs_sigma
 from .bidirectional import BidirectionalResult, bidirectional_search
 from .dijkstra import dijkstra_sigma
 from .wavefront import wavefront_search
+from .wavefront_weighted import WeightedSearchResult, wavefront_weighted_search
 
 __all__ = ["PathSample", "PathSampler"]
 
@@ -126,6 +127,8 @@ class PathSampler:
         self.total_edges_explored = 0
         self.total_samples = 0
         self.total_traversals = 0
+        self.total_weighted_cohorts = 0
+        self.total_bucket_relaxations = 0
 
     # ------------------------------------------------------------------
     def sample(self) -> PathSample:
@@ -208,35 +211,50 @@ class PathSampler:
         count: int,
         kernel: str = "wavefront",
         cohort_size: int | None = None,
+        delta: int | None = None,
     ) -> list[PathSample]:
         """Draw ``count`` samples through the pair-first cohort schedule.
 
         Statistically identical to :meth:`sample_many`; the draw order
         is restructured for batching: all ``count`` ordered pairs are
-        drawn i.i.d. up front, **all** bidirectional searches are
-        resolved next, and the uniform path walks run last, in sample
-        order.  With ``kernel="wavefront"`` the searches execute
-        through :func:`~repro.paths.wavefront.wavefront_search` (many
-        queries per numpy call); with ``kernel="scalar"`` each runs its
-        own :func:`~repro.paths.bidirectional.bidirectional_search`.
-        The two kernels consume the generator identically and yield
-        bit-identical samples — the cross-kernel determinism contract
-        the engines rely on.
+        drawn i.i.d. up front, **all** searches are resolved next, and
+        the uniform path walks run last, in sample order.  With
+        ``kernel="wavefront"`` the searches execute through a
+        vectorized multi-query kernel — the level-synchronous
+        bidirectional BFS (:func:`~repro.paths.wavefront.wavefront_search`)
+        on unweighted graphs, the bucketed delta-stepping cohort
+        (:func:`~repro.paths.wavefront_weighted.wavefront_weighted_search`)
+        on weighted ones.  With ``kernel="scalar"`` each query runs its
+        own scalar search
+        (:func:`~repro.paths.bidirectional.bidirectional_search` /
+        :func:`~repro.paths.dijkstra.dijkstra_sigma`).  The two kernels
+        consume the generator identically and yield bit-identical
+        samples — the cross-kernel determinism contract the engines
+        rely on.
 
-        Only the unweighted ``"bidirectional"`` method supports this
-        schedule; engines fall back to :meth:`sample_batch` otherwise.
+        ``delta`` is the weighted kernel's bucket width
+        (result-invariant; ``None`` auto-tunes from the mean edge
+        weight); it is ignored on unweighted graphs.  Only the
+        ``"forward"`` method lacks a cohort schedule; engines fall back
+        to :meth:`sample_batch` for it.
         """
         if count < 0:
             raise ParameterError("sample count must be non-negative")
-        if self.method != "bidirectional":
+        if self.method not in ("bidirectional", "dijkstra"):
             raise ParameterError(
-                "cohort sampling requires the 'bidirectional' method"
+                "cohort sampling requires the 'bidirectional' or "
+                "'dijkstra' method"
             )
         n = self.graph.n
         rng = self._rng
         sources = rng.integers(0, n, size=count)
         targets = rng.integers(0, n - 1, size=count)
         targets = np.where(targets >= sources, targets + 1, targets)
+
+        if self.method == "dijkstra":
+            return self._weighted_cohort(
+                sources, targets, kernel, cohort_size, delta
+            )
 
         if kernel == "wavefront":
             searched = wavefront_search(
@@ -258,6 +276,87 @@ class PathSampler:
                 samples.append(self._assemble(result))
         self.total_samples += count
         self.total_traversals += count
+        self.total_edges_explored += sum(s.edges_explored for s in samples)
+        return samples
+
+    def _weighted_cohort(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        kernel: str,
+        cohort_size: int | None,
+        delta: int | None,
+    ) -> list[PathSample]:
+        """The weighted half of :meth:`sample_cohort`: resolve every
+        (s, t) query first, then run the backward walks in sample
+        order.  Both kernels produce bit-identical
+        :class:`~repro.paths.wavefront_weighted.WeightedSearchResult`
+        rows and consume the generator only through the walks, so the
+        samples are bit-identical across kernels (and across the
+        engines' chunkings)."""
+        count = int(sources.size)
+        if kernel == "wavefront":
+            counters: dict = {}
+            searched = wavefront_weighted_search(
+                self.graph,
+                sources,
+                targets,
+                delta=delta,
+                cohort_size=cohort_size,
+                counters=counters,
+            )
+            self.total_bucket_relaxations += counters.get(
+                "bucket_relaxations", 0
+            )
+        elif kernel == "scalar":
+            searched = []
+            for source, target in zip(sources, targets):
+                source, target = int(source), int(target)
+                dist, sigma, order = dijkstra_sigma(
+                    self.graph, source, target=target
+                )
+                explored = int(
+                    sum(self.graph.out_degree(int(v)) for v in order)
+                )
+                searched.append(
+                    WeightedSearchResult(
+                        source=source,
+                        target=target,
+                        distance=int(dist[target]),
+                        sigma_st=float(sigma[target]),
+                        dist=dist,
+                        sigma=sigma,
+                        edges_explored=explored,
+                    )
+                )
+        else:
+            raise ParameterError(f"unknown traversal kernel {kernel!r}")
+
+        samples = []
+        for result in searched:
+            if not result.reachable:
+                samples.append(
+                    self._null(
+                        result.source, result.target, result.edges_explored
+                    )
+                )
+                continue
+            nodes = self._walk_weighted(
+                result.source, result.target, result.dist, result.sigma
+            )
+            samples.append(
+                PathSample(
+                    source=result.source,
+                    target=result.target,
+                    nodes=nodes,
+                    distance=result.distance,
+                    sigma_st=result.sigma_st,
+                    edges_explored=result.edges_explored,
+                )
+            )
+        self.total_samples += count
+        self.total_traversals += count
+        self.total_weighted_cohorts += 1
         self.total_edges_explored += sum(s.edges_explored for s in samples)
         return samples
 
@@ -350,9 +449,24 @@ class PathSampler:
         """Weighted sampling: forward Dijkstra, then a weighted backward
         walk along shortest-path predecessors."""
         dist, sigma, order = dijkstra_sigma(self.graph, source, target=target)
+        explored = int(sum(self.graph.out_degree(int(v)) for v in order))
         if dist[target] == -1:
-            explored = int(sum(self.graph.out_degree(int(v)) for v in order))
             return self._null(source, target, explored)
+        return PathSample(
+            source=source,
+            target=target,
+            nodes=self._walk_weighted(source, target, dist, sigma),
+            distance=int(dist[target]),
+            sigma_st=float(sigma[target]),
+            edges_explored=explored,
+        )
+
+    def _walk_weighted(
+        self, source: int, target: int, dist: np.ndarray, sigma: np.ndarray
+    ) -> np.ndarray:
+        """Weighted backward walk from ``target`` to ``source`` along
+        shortest-path predecessors, each weighted by its path count;
+        returns the sampled path in source→target order."""
         path = [target]
         node = target
         while node != source:
@@ -362,15 +476,7 @@ class PathSampler:
             level = preds[on_path]
             node = self._weighted_pick(level, sigma[level])
             path.append(node)
-        explored = int(sum(self.graph.out_degree(int(v)) for v in order))
-        return PathSample(
-            source=source,
-            target=target,
-            nodes=np.asarray(path[::-1], dtype=np.int64),
-            distance=int(dist[target]),
-            sigma_st=float(sigma[target]),
-            edges_explored=explored,
-        )
+        return np.asarray(path[::-1], dtype=np.int64)
 
     def _weighted_pick(self, candidates: np.ndarray, weights: np.ndarray) -> int:
         """Draw one candidate with probability proportional to its weight.

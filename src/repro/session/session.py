@@ -66,10 +66,11 @@ class SamplingSession:
         Master seed (or a shared :class:`numpy.random.Generator`) the
         lane streams are derived from.
     engine, method, include_endpoints, workers, kernel, cache_sources,
-    epoch_size:
+    epoch_size, delta:
         Engine configuration, recorded as provenance in checkpoints
-        (``epoch_size`` only applies to the ``"epoch"`` engine; ``None``
-        keeps its default).
+        (``epoch_size`` only applies to the ``"epoch"`` engine,
+        ``delta`` to weighted-graph cohort kernels; ``None`` keeps the
+        defaults).
     telemetry:
         A :class:`~repro.obs.Telemetry` hub; the session reports
         ``session.*`` counters (samples drawn/reused, extend calls,
@@ -95,6 +96,7 @@ class SamplingSession:
         kernel: str = "wavefront",
         cache_sources: int = 0,
         epoch_size: int | None = None,
+        delta: int | None = None,
         telemetry=None,
         debug: bool = False,
     ):
@@ -111,6 +113,7 @@ class SamplingSession:
             "kernel": kernel,
             "cache_sources": int(cache_sources),
             "epoch_size": epoch_size,
+            "delta": delta,
         }
         self.engines: list[SampleEngine] = [
             create_engine(
@@ -123,6 +126,7 @@ class SamplingSession:
                 kernel=kernel,
                 cache_sources=cache_sources,
                 epoch_size=epoch_size,
+                delta=delta,
                 telemetry=self.telemetry,
                 debug=debug,
             )
@@ -269,8 +273,9 @@ class SamplingSession:
                 workers=provenance["workers"],
                 kernel=provenance["kernel"],
                 cache_sources=provenance["cache_sources"],
-                # absent in pre-epoch checkpoints — default applies
+                # absent in pre-epoch / pre-delta checkpoints — defaults
                 epoch_size=provenance.get("epoch_size"),
+                delta=provenance.get("delta"),
                 telemetry=hub,
                 debug=debug,
             )

@@ -119,3 +119,38 @@ class TestUnregisteredTelemetryName:
             module="repro.engine.epoch",
         )
         assert rule_ids_of(findings) == ["RPR301"]
+
+    def test_weighted_wavefront_names_registered(self, findings_for):
+        """The weighted-kernel and batched-CELF names emit findings-free."""
+        findings = check(
+            findings_for,
+            """
+            def run(self, hub):
+                self.telemetry.count("paths.weighted_cohorts", 1)
+                self.telemetry.count("paths.bucket_relaxations", 17)
+                self.telemetry.count("paths.kernel_fallbacks", 1)
+                hub.count("coverage.batched_evals", 16)
+            """,
+            module="repro.engine.base",
+        )
+        assert findings == []
+        for name in (
+            "paths.weighted_cohorts",
+            "paths.bucket_relaxations",
+            "paths.kernel_fallbacks",
+            "coverage.batched_evals",
+        ):
+            assert is_counter(name)
+
+    def test_weighted_wavefront_typo_still_caught(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(self):
+                self.telemetry.count("paths.weighted_cohortz", 1)
+                self.telemetry.count("coverage.batched_eval", 4)
+            """,
+            module="repro.engine.base",
+        )
+        assert rule_ids_of(findings) == ["RPR301"]
+        assert len(findings) == 2

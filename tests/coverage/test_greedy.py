@@ -7,6 +7,7 @@ import pytest
 
 from repro.coverage import CoverageInstance, greedy_max_cover
 from repro.exceptions import ParameterError
+from repro.obs import Telemetry
 
 
 def _instance(paths, n):
@@ -128,13 +129,15 @@ class TestOptimality:
         rng = np.random.default_rng(7)
         paths = [rng.choice(50, size=4, replace=False) for _ in range(300)]
         inst = _instance(paths, 50)
-        result = greedy_max_cover(inst, 10)
+        result = greedy_max_cover(inst, 10, batch=1)
         assert result.evaluations < 10 * 50  # plain greedy would do K*n
 
 
 class TestLazyEvaluationCounts:
     """The initial degree entries are exact, so CELF must accept the
-    first pop of every run without a redundant re-evaluation."""
+    first pop of every run without a redundant re-evaluation.  These
+    counts pin the entry-at-a-time schedule, so they run at ``batch=1``
+    (larger batches may price extra candidates speculatively)."""
 
     def test_disjoint_nodes_need_k_minus_1_evaluations(self):
         # every path hits exactly one node: after a pick, the next
@@ -143,14 +146,16 @@ class TestLazyEvaluationCounts:
         # k - 1 evaluations in total, not k
         inst = _instance([[0], [0], [0], [1], [1], [2]], 4)
         for k in (1, 2, 3):
-            result = greedy_max_cover(inst, k)
+            result = greedy_max_cover(inst, k, batch=1)
             assert result.evaluations == k - 1
+            assert result.eval_batches == result.evaluations
 
     def test_first_pick_costs_zero_evaluations(self):
         inst = _instance([[0, 1], [0], [2]], 3)
-        result = greedy_max_cover(inst, 1)
+        result = greedy_max_cover(inst, 1, batch=1)
         assert result.group == [0]
         assert result.evaluations == 0
+        assert result.eval_batches == 0
 
     def test_seeding_does_not_change_the_cover(self):
         rng = np.random.default_rng(11)
@@ -181,3 +186,63 @@ class TestGainsBookkeeping:
         result = greedy_max_cover(inst, 6)
         picked = [g for g in result.gains if g > 0]
         assert picked == sorted(picked, reverse=True)
+
+
+class TestBatchedEvaluation:
+    """The batch knob is a pure throughput lever: selections are frozen
+    across every batch size; only the evaluation schedule moves."""
+
+    def _random_instance(self, seed, n=40, paths=250):
+        rng = np.random.default_rng(seed)
+        return _instance(
+            [
+                rng.choice(n, size=rng.integers(1, 6), replace=False)
+                for _ in range(paths)
+            ],
+            n,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("batch", [2, 3, 16, 64])
+    def test_batch_sizes_pick_identical_groups(self, seed, batch):
+        inst = self._random_instance(seed)
+        reference = greedy_max_cover(inst, 8, batch=1)
+        batched = greedy_max_cover(inst, 8, batch=batch)
+        assert batched.group == reference.group
+        assert batched.gains == reference.gains
+        assert batched.covered == reference.covered
+
+    def test_default_batch_matches_sequential(self):
+        inst = self._random_instance(9)
+        reference = greedy_max_cover(inst, 6, batch=1)
+        default = greedy_max_cover(inst, 6)
+        assert default.group == reference.group
+        assert default.gains == reference.gains
+
+    def test_batches_amortize_evaluations(self):
+        # many overlapping candidates force plenty of stale pops per
+        # round, so the vectorized passes must each absorb several
+        rng = np.random.default_rng(21)
+        inst = _instance(
+            [rng.choice(60, size=5, replace=False) for _ in range(600)], 60
+        )
+        result = greedy_max_cover(inst, 10, batch=16)
+        assert result.evaluations > 0
+        assert 0 < result.eval_batches < result.evaluations
+
+    def test_batch_one_pins_one_eval_per_batch(self):
+        inst = self._random_instance(5)
+        result = greedy_max_cover(inst, 8, batch=1)
+        assert result.eval_batches == result.evaluations
+
+    def test_telemetry_counts_batched_evals(self):
+        inst = self._random_instance(13)
+        hub = Telemetry()
+        result = greedy_max_cover(inst, 8, telemetry=hub)
+        counted = hub.snapshot()["counters"].get("coverage.batched_evals", 0)
+        assert counted == result.evaluations
+
+    def test_batch_validation(self):
+        inst = _instance([[0]], 2)
+        with pytest.raises(ParameterError):
+            greedy_max_cover(inst, 1, batch=0)

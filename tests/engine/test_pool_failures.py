@@ -28,10 +28,14 @@ POISON_SIZE = 7
 _real_chunk_samples = pool_module._chunk_samples
 
 
-def _poisoned_chunk_samples(graph, method, kernel, cohort, cache, seed, count):
+def _poisoned_chunk_samples(
+    graph, method, kernel, cohort, delta, cache, seed, count
+):
     if count == POISON_SIZE:
         raise ValueError(f"injected failure for chunk size {count}")
-    return _real_chunk_samples(graph, method, kernel, cohort, cache, seed, count)
+    return _real_chunk_samples(
+        graph, method, kernel, cohort, delta, cache, seed, count
+    )
 
 
 @pytest.fixture

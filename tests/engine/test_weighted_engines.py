@@ -1,0 +1,241 @@
+"""Weighted-graph engine equivalence: the delta-stepping cohort kernel
+must be a pure throughput knob.
+
+Contract under test:
+
+* the batch engine's ``wavefront`` (delta-stepping) and ``scalar``
+  (per-query Dijkstra) kernels are bit-identical on weighted graphs;
+* ``delta`` never changes results, only bucket granularity;
+* process and epoch engines are bit-identical across worker counts
+  ``{0, 1, 4}`` on weighted graphs;
+* checkpoint/resume reproduces the uninterrupted weighted run exactly;
+* requesting a cohort kernel that *does* have to degrade (the
+  unweighted ``forward`` method) is reported: warning, stats field,
+  telemetry counter.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AdaAlg
+from repro.engine import BatchEngine, EpochEngine, ProcessPoolEngine, create_engine
+from repro.exceptions import SessionInterrupted
+from repro.graph import barabasi_albert, from_weighted_edges
+from repro.obs import Telemetry
+from repro.paths import PathSampler
+
+
+def _random_weighted(n, p, seed, max_w=9, directed=False):
+    rng = np.random.default_rng(seed)
+    triples = []
+    for u in range(n):
+        candidates = range(n) if directed else range(u + 1, n)
+        for v in candidates:
+            if u != v and rng.random() < p:
+                triples.append((u, v, int(rng.integers(1, max_w + 1))))
+    return from_weighted_edges(triples, n=n, directed=directed)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return _random_weighted(60, 0.1, seed=3)
+
+
+def _assert_samples_equal(first, second):
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.source == b.source
+        assert a.target == b.target
+        assert a.distance == b.distance
+        assert np.array_equal(a.nodes, b.nodes)
+        assert a.sigma_st == b.sigma_st
+        assert a.edges_explored == b.edges_explored
+
+
+class TestBatchKernelParity:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_wavefront_equals_scalar(self, directed):
+        graph = _random_weighted(50, 0.12, seed=7, directed=directed)
+
+        def run(kernel):
+            with BatchEngine(graph, seed=31, kernel=kernel) as engine:
+                return engine.draw(150)
+
+        _assert_samples_equal(run("wavefront"), run("scalar"))
+
+    def test_disconnected_nulls_agree(self):
+        # two weighted components: cross pairs are null in both kernels
+        left = [(u, v, 2) for u in range(4) for v in range(u + 1, 4)]
+        right = [(u, v, 3) for u in range(4, 8) for v in range(u + 1, 8)]
+        graph = from_weighted_edges(left + right, n=8)
+
+        def run(kernel):
+            with BatchEngine(graph, seed=5, kernel=kernel) as engine:
+                return engine.draw(80)
+
+        a, b = run("wavefront"), run("scalar")
+        assert sum(s.is_null for s in a) > 0
+        for x, y in zip(a, b):
+            assert x.is_null == y.is_null
+        _assert_samples_equal(
+            [s for s in a if not s.is_null], [s for s in b if not s.is_null]
+        )
+
+    @pytest.mark.parametrize("delta", [1, 3, 10**6])
+    def test_delta_is_result_invariant(self, weighted_graph, delta):
+        def run(**kwargs):
+            with BatchEngine(weighted_graph, seed=13, **kwargs) as engine:
+                return engine.draw(120)
+
+        _assert_samples_equal(run(), run(delta=delta))
+
+    def test_weighted_cohort_stats_recorded(self, weighted_graph):
+        with BatchEngine(weighted_graph, seed=2) as engine:
+            engine.draw(100)
+            stats = engine.stats
+        assert stats.weighted_cohorts > 0
+        assert stats.bucket_relaxations > 0
+        assert stats.kernel_fallbacks == 0
+
+
+class TestSamplerCohortParity:
+    def test_wavefront_cohort_equals_scalar_cohort(self, weighted_graph):
+        def run(kernel):
+            sampler = PathSampler(weighted_graph, seed=17)
+            return sampler.sample_cohort(200, kernel=kernel)
+
+        _assert_samples_equal(run("wavefront"), run("scalar"))
+
+    def test_cohort_size_is_result_invariant(self, weighted_graph):
+        def run(cohort_size):
+            sampler = PathSampler(weighted_graph, seed=23)
+            return sampler.sample_cohort(150, cohort_size=cohort_size)
+
+        reference = run(None)
+        for cohort_size in (1, 7, 1000):
+            _assert_samples_equal(reference, run(cohort_size))
+
+
+class TestWorkerCountInvariance:
+    def test_process_identical_across_worker_counts(self, weighted_graph):
+        def run(workers):
+            engine = ProcessPoolEngine(
+                weighted_graph, seed=2024, workers=workers, chunk_size=32
+            )
+            with engine:
+                return engine.draw(128)
+
+        reference = run(1)
+        for workers in (0, 4):
+            _assert_samples_equal(reference, run(workers))
+
+    def test_epoch_identical_across_worker_counts(self, weighted_graph):
+        def run(workers):
+            engine = EpochEngine(
+                weighted_graph, seed=404, workers=workers, epoch_size=32
+            )
+            with engine:
+                return engine.draw(128)
+
+        reference = run(1)
+        for workers in (0, 4):
+            _assert_samples_equal(reference, run(workers))
+
+    def test_adaalg_group_invariant_across_process_workers(self):
+        graph = _random_weighted(40, 0.15, seed=9)
+
+        def run(workers):
+            algorithm = AdaAlg(
+                eps=0.5, gamma=0.1, seed=5, engine="process", workers=workers
+            )
+            return algorithm.run(graph, 2)
+
+        reference = run(1)
+        for workers in (0, 4):
+            result = run(workers)
+            assert result.group == reference.group
+            assert result.estimate == reference.estimate
+            assert result.num_samples == reference.num_samples
+
+
+class TestWeightedResume:
+    @pytest.mark.parametrize(
+        "engine,extra",
+        [("batch", {}), ("epoch", {"workers": 2, "epoch_size": 64})],
+    )
+    def test_resume_is_bit_identical(self, tmp_path, engine, extra):
+        graph = _random_weighted(40, 0.15, seed=21)
+        path = str(tmp_path / "ck.npz")
+
+        def factory(**kw):
+            return AdaAlg(
+                eps=0.4, gamma=0.1, seed=11, engine=engine, **extra, **kw
+            )
+
+        straight = factory().run(graph, 3)
+        with pytest.raises(SessionInterrupted):
+            factory(checkpoint_path=path, stop_after_checkpoints=1).run(graph, 3)
+        resumed = factory(resume_from=path).run(graph, 3)
+        assert resumed.group == straight.group
+        assert resumed.estimate == straight.estimate
+        assert resumed.estimate_unbiased == straight.estimate_unbiased
+        assert resumed.num_samples == straight.num_samples
+        assert resumed.iterations == straight.iterations
+
+    def test_resume_preserves_delta_knob(self, tmp_path):
+        graph = _random_weighted(40, 0.15, seed=21)
+        path = str(tmp_path / "ck.npz")
+
+        def factory(**kw):
+            return AdaAlg(
+                eps=0.4, gamma=0.1, seed=11, engine="batch", delta=2, **kw
+            )
+
+        straight = factory().run(graph, 3)
+        with pytest.raises(SessionInterrupted):
+            factory(checkpoint_path=path, stop_after_checkpoints=1).run(graph, 3)
+        resumed = AdaAlg(
+            eps=0.4, gamma=0.1, seed=11, engine="batch", resume_from=path
+        ).run(graph, 3)
+        assert resumed.group == straight.group
+        assert resumed.estimate == straight.estimate
+        assert resumed.num_samples == straight.num_samples
+
+
+class TestKernelFallbackReporting:
+    def test_forward_method_fallback_warns_once(self):
+        graph = barabasi_albert(40, 2, seed=1)
+        hub = Telemetry()
+        engine = create_engine(
+            "batch", graph, seed=3, method="forward", kernel="wavefront",
+            telemetry=hub,
+        )
+        with engine:
+            assert engine.kernel == "grouped"
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                engine.draw(20)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second draw stays silent
+                engine.draw(20)
+            assert engine.stats.kernel_fallbacks == 1
+        assert hub.snapshot()["counters"]["paths.kernel_fallbacks"] == 1
+
+    def test_weighted_wavefront_does_not_fall_back(self, weighted_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with BatchEngine(weighted_graph, seed=3, kernel="wavefront") as engine:
+                engine.draw(20)
+                assert engine.kernel == "wavefront"
+                assert engine.stats.kernel_fallbacks == 0
+
+    def test_explicit_grouped_request_is_not_a_fallback(self):
+        graph = barabasi_albert(40, 2, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with BatchEngine(graph, seed=3, kernel="grouped") as engine:
+                engine.draw(20)
+                assert engine.stats.kernel_fallbacks == 0

@@ -1,0 +1,187 @@
+"""The weighted wavefront kernel against the Dijkstra reference.
+
+`wavefront_weighted_search` promises *bit-identical* per-query output
+to `dijkstra_sigma(graph, s, target=t)` — same finalized set, same
+float64 sigma bits, same `edges_explored` accounting — for any delta
+and cohort size.  These tests enforce that on random weighted BA/ER
+graphs (directed and undirected), on disconnected graphs, and across
+the knob grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, ParameterError
+from repro.graph import from_edges, from_weighted_edges
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.paths import dijkstra_sigma
+from repro.paths.wavefront_weighted import (
+    auto_delta,
+    wavefront_weighted_search,
+)
+
+
+def _weight(graph, seed, max_w=9, directed=False):
+    """Assign random positive integer weights to a generated topology."""
+    rng = np.random.default_rng(seed)
+    triples = [
+        (u, v, int(rng.integers(1, max_w + 1))) for u, v in graph.edges()
+    ]
+    return from_weighted_edges(triples, n=graph.n, directed=directed)
+
+
+def _weighted_ba(n, m, seed, max_w=9):
+    return _weight(barabasi_albert(n, m, seed), seed + 1, max_w)
+
+
+def _weighted_er(n, p, seed, max_w=9, directed=False):
+    return _weight(
+        erdos_renyi(n, p, seed, directed=directed), seed + 1, max_w, directed
+    )
+
+
+def _random_pairs(graph, count, seed):
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, graph.n, size=count)
+    targets = rng.integers(0, graph.n - 1, size=count)
+    targets = np.where(targets >= sources, targets + 1, targets)
+    return sources, targets
+
+
+def _reference(graph, source, target):
+    """What the scalar reference produces for one query."""
+    dist, sigma, order = dijkstra_sigma(graph, int(source), target=int(target))
+    explored = int(sum(graph.out_degree(int(v)) for v in order))
+    return dist, sigma, explored
+
+
+def assert_matches_reference(graph, sources, targets, **kwargs):
+    results = wavefront_weighted_search(graph, sources, targets, **kwargs)
+    assert len(results) == len(sources)
+    for source, target, got in zip(sources, targets, results):
+        dist, sigma, explored = _reference(graph, source, target)
+        assert got.source == source and got.target == target
+        assert np.array_equal(got.dist, dist)
+        # bit-identical float64 path counts, not just approximately equal
+        assert np.array_equal(
+            got.sigma.view(np.uint64), sigma.view(np.uint64)
+        )
+        assert got.distance == dist[target]
+        assert got.sigma_st == sigma[target]
+        assert got.edges_explored == explored
+        assert got.reachable == (dist[target] >= 0)
+
+
+class TestReferenceEquality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ba_undirected(self, seed):
+        graph = _weighted_ba(60, 2, seed)
+        sources, targets = _random_pairs(graph, 40, seed + 10)
+        assert_matches_reference(graph, sources, targets)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_er_undirected(self, seed):
+        graph = _weighted_er(50, 0.08, seed + 20)
+        sources, targets = _random_pairs(graph, 40, seed + 30)
+        assert_matches_reference(graph, sources, targets)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_er_directed(self, seed):
+        graph = _weighted_er(40, 0.1, seed + 40, directed=True)
+        sources, targets = _random_pairs(graph, 40, seed + 50)
+        assert_matches_reference(graph, sources, targets)
+
+    def test_heavy_tailed_weights(self):
+        # wide weight spread stresses the light/heavy bucket split
+        graph = _weighted_ba(50, 2, seed=7, max_w=200)
+        sources, targets = _random_pairs(graph, 30, seed=8)
+        assert_matches_reference(graph, sources, targets)
+
+    def test_unreachable_pairs(self):
+        # two components: cross-component queries finalize the whole
+        # source closure and report distance -1, like the reference
+        triples = [(0, 1, 2), (1, 2, 3), (3, 4, 1)]
+        graph = from_weighted_edges(triples, n=5)
+        sources = np.array([0, 3, 2, 4])
+        targets = np.array([4, 1, 3, 0])
+        results = assert_matches_reference(graph, sources, targets)
+        results = wavefront_weighted_search(graph, sources, targets)
+        assert all(r.distance == -1 for r in results)
+        assert all(not r.reachable for r in results)
+
+
+class TestKnobInvariance:
+    @pytest.mark.parametrize("delta", [1, 2, 5, 10**6])
+    def test_delta_never_changes_results(self, delta):
+        graph = _weighted_er(45, 0.1, seed=60)
+        sources, targets = _random_pairs(graph, 30, seed=61)
+        assert_matches_reference(graph, sources, targets, delta=delta)
+
+    @pytest.mark.parametrize("cohort_size", [1, 3, 64, 1000])
+    def test_cohort_size_never_changes_results(self, cohort_size):
+        graph = _weighted_ba(45, 2, seed=62)
+        sources, targets = _random_pairs(graph, 30, seed=63)
+        assert_matches_reference(
+            graph, sources, targets, cohort_size=cohort_size
+        )
+
+    def test_auto_delta_is_mean_weight(self):
+        graph = from_weighted_edges([(0, 1, 3), (1, 2, 5)], directed=True)
+        assert auto_delta(graph) == 4
+
+    def test_auto_delta_floors_at_one(self):
+        graph = from_weighted_edges([(0, 1, 1), (1, 2, 1)], directed=True)
+        assert auto_delta(graph) == 1
+
+
+class TestCountersAndEdgeCases:
+    def test_counters_accumulate_relaxations(self):
+        graph = _weighted_ba(40, 2, seed=70)
+        sources, targets = _random_pairs(graph, 20, seed=71)
+        counters = {"bucket_relaxations": 5}
+        wavefront_weighted_search(graph, sources, targets, counters=counters)
+        assert counters["bucket_relaxations"] > 5
+
+    def test_empty_query_set(self):
+        graph = from_weighted_edges([(0, 1, 2)])
+        assert wavefront_weighted_search(graph, [], []) == []
+
+    def test_single_edge_pair(self):
+        graph = from_weighted_edges([(0, 1, 7)], directed=True)
+        (result,) = wavefront_weighted_search(graph, [0], [1])
+        assert result.distance == 7
+        assert result.sigma_st == 1.0
+
+
+class TestValidation:
+    def test_rejects_unweighted_graph(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(GraphError):
+            wavefront_weighted_search(graph, [0], [2])
+
+    def test_rejects_shape_mismatch(self):
+        graph = from_weighted_edges([(0, 1, 1)])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [0, 1], [1])
+
+    def test_rejects_out_of_range_ids(self):
+        graph = from_weighted_edges([(0, 1, 1)])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [0], [5])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [-1], [1])
+
+    def test_rejects_equal_endpoints(self):
+        graph = from_weighted_edges([(0, 1, 1)])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [1], [1])
+
+    def test_rejects_bad_delta(self):
+        graph = from_weighted_edges([(0, 1, 1)])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [0], [1], delta=0)
+
+    def test_rejects_bad_cohort_size(self):
+        graph = from_weighted_edges([(0, 1, 1)])
+        with pytest.raises(ParameterError):
+            wavefront_weighted_search(graph, [0], [1], cohort_size=0)
