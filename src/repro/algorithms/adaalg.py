@@ -88,6 +88,7 @@ class AdaAlg(SamplingAlgorithm):
     """
 
     name = "AdaAlg"
+    session_lanes = 2
 
     def __init__(
         self,
@@ -159,9 +160,7 @@ class AdaAlg(SamplingAlgorithm):
         n = graph.n
         pairs = graph.num_ordered_pairs
         b, q_max, theta = adaalg_schedule(n, self.eps, self.gamma, b_min=self.b_min)
-        session, state, owns = self._open_session(graph, k, 2)
-        selection = session.store(0)  # S — selection set
-        validation = session.store(1)  # T — independent validation set
+        session, state, owns = self._open_session(graph, k, self.session_lanes)
 
         cnt = 0
         trace: list[AdaAlgIteration] = []
@@ -171,18 +170,24 @@ class AdaAlg(SamplingAlgorithm):
         converged = False
         capped = False
         start_q = 1
-        if state is not None:
-            # continue the outer loop exactly where the checkpoint froze it
-            loop = state["loop"]
-            start_q = int(loop["q"]) + 1
-            cnt = int(loop["cnt"])
-            group = [int(v) for v in loop["group"]]
-            biased = float(loop["biased"])
-            unbiased = float(loop["unbiased"])
-            trace = [AdaAlgIteration(**entry) for entry in loop["trace"]]
         telemetry = self.telemetry
 
         try:
+            # everything after _open_session sits inside the try: a
+            # malformed checkpoint state must not leak the session (and
+            # its engines' worker processes)
+            selection = session.store(0)  # S — selection set
+            validation = session.store(1)  # T — independent validation set
+            if state is not None:
+                # continue the outer loop exactly where the checkpoint
+                # froze it
+                loop = state["loop"]
+                start_q = int(loop["q"]) + 1
+                cnt = int(loop["cnt"])
+                group = [int(v) for v in loop["group"]]
+                biased = float(loop["biased"])
+                unbiased = float(loop["unbiased"])
+                trace = [AdaAlgIteration(**entry) for entry in loop["trace"]]
             with telemetry.span("adaalg", k=k, n=n):
                 for q in range(start_q, q_max + 1):
                     guess = pairs / b**q

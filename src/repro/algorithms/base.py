@@ -262,8 +262,44 @@ class SamplingAlgorithm(GBCAlgorithm):
         self._iters_since_ckpt = 0
         self._checkpoints_this_run = 0
 
+    #: Independent ``(engine, store)`` lanes the algorithm's ``run``
+    #: draws through — 1 for the single-pool algorithms, 2 for AdaAlg
+    #: (selection set S + validation set T).
+    session_lanes: int = 1
+
     # ------------------------------------------------------------------
     # Session plumbing — shared by every concrete run() implementation.
+    def build_session(self, graph: CSRGraph) -> SamplingSession:
+        """A fresh session this algorithm instance would run through.
+
+        Consumes the algorithm's RNG exactly as a fresh ``run`` does
+        when it creates its own session, so attaching the returned
+        session (``session=`` / ``self.session``) and running yields
+        results bit-identical to a plain seeded run.  This is the
+        warm-lane seam of the serve daemon
+        (:mod:`repro.serve`): build once, keep the session hot, let
+        later queries reuse the grown stores.  The caller owns the
+        session and must close it.
+        """
+        return self._fresh_session(graph, self.session_lanes)
+
+    def _fresh_session(self, graph: CSRGraph, lanes: int) -> SamplingSession:
+        return SamplingSession(
+            graph,
+            lanes=lanes,
+            seed=self._rng,
+            engine=self.engine,
+            method=self.sampler_method,
+            include_endpoints=self.include_endpoints,
+            workers=self.workers,
+            kernel=self.kernel,
+            cache_sources=self.cache_sources,
+            epoch_size=self.epoch_size,
+            delta=self.delta,
+            telemetry=self.telemetry,
+            debug=self.debug,
+        )
+
     def _open_session(
         self, graph: CSRGraph, k: int, lanes: int
     ) -> tuple[SamplingSession, dict | None, bool]:
@@ -312,21 +348,7 @@ class SamplingAlgorithm(GBCAlgorithm):
             self.checkpoint_meta = dict(state.get("meta") or {})
             self._samples_reused = sess.total_samples
             return sess, state, True
-        sess = SamplingSession(
-            graph,
-            lanes=lanes,
-            seed=self._rng,
-            engine=self.engine,
-            method=self.sampler_method,
-            include_endpoints=self.include_endpoints,
-            workers=self.workers,
-            kernel=self.kernel,
-            cache_sources=self.cache_sources,
-            epoch_size=self.epoch_size,
-            delta=self.delta,
-            telemetry=self.telemetry,
-            debug=self.debug,
-        )
+        sess = self._fresh_session(graph, lanes)
         self._samples_reused = 0
         return sess, None, True
 

@@ -115,8 +115,7 @@ class CentRa(Hedge):
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / (2 * num_guesses)
 
-        session, state, owns = self._open_session(graph, k, 1)
-        instance = session.store(0)
+        session, state, owns = self._open_session(graph, k, self.session_lanes)
 
         group: list[int] = []
         estimate = 0.0
@@ -124,16 +123,19 @@ class CentRa(Hedge):
         converged = False
         stopped_by_era = False
         skip = 0
-        if state is not None:
-            # the MC-ERA draws consumed self._rng, whose state the
-            # checkpoint restored alongside the engine streams
-            loop = state["loop"]
-            iterations = skip = int(loop["iterations"])
-            group = [int(v) for v in loop["group"]]
-            estimate = float(loop["estimate"])
         telemetry = self.telemetry
 
         try:
+            # state parsing happens inside the try so a malformed
+            # checkpoint cannot leak the session's worker processes
+            instance = session.store(0)
+            if state is not None:
+                # the MC-ERA draws consumed self._rng, whose state the
+                # checkpoint restored alongside the engine streams
+                loop = state["loop"]
+                iterations = skip = int(loop["iterations"])
+                group = [int(v) for v in loop["group"]]
+                estimate = float(loop["estimate"])
             with telemetry.span("centra", k=k, n=n, empirical=True):
                 for index, (_, guess, mu) in enumerate(
                     guess_schedule(n, base=self.guess_base)

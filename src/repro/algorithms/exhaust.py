@@ -95,9 +95,9 @@ class Exhaust(Hedge):
         self._begin_run()
         telemetry = self.telemetry
 
-        session, state, owns = self._open_session(graph, k, 1)
-        instance = session.store(0)
+        session, state, owns = self._open_session(graph, k, self.session_lanes)
         try:
+            instance = session.store(0)
             with telemetry.span("exhaust", k=k, n=graph.n):
                 with telemetry.span("sample", target=self.num_samples):
                     # idempotent on resume: a store already holding the

@@ -115,8 +115,7 @@ class Hedge(SamplingAlgorithm):
         num_guesses = max(1, math.ceil(math.log(pairs) / math.log(self.guess_base)))
         gamma_each = self.gamma / num_guesses
 
-        session, state, owns = self._open_session(graph, k, 1)
-        instance = session.store(0)
+        session, state, owns = self._open_session(graph, k, self.session_lanes)
 
         group: list[int] = []
         estimate = 0.0
@@ -124,16 +123,20 @@ class Hedge(SamplingAlgorithm):
         converged = False
         capped = False
         skip = 0
-        if state is not None:
-            # every completed iteration consumed exactly one schedule
-            # entry, so the iteration count doubles as the resume cursor
-            loop = state["loop"]
-            iterations = skip = int(loop["iterations"])
-            group = [int(v) for v in loop["group"]]
-            estimate = float(loop["estimate"])
         telemetry = self.telemetry
 
         try:
+            # state parsing happens inside the try so a malformed
+            # checkpoint cannot leak the session's worker processes
+            instance = session.store(0)
+            if state is not None:
+                # every completed iteration consumed exactly one schedule
+                # entry, so the iteration count doubles as the resume
+                # cursor
+                loop = state["loop"]
+                iterations = skip = int(loop["iterations"])
+                group = [int(v) for v in loop["group"]]
+                estimate = float(loop["estimate"])
             with telemetry.span(self.name.lower(), k=k, n=n):
                 for index, (_, guess, mu) in enumerate(
                     guess_schedule(n, base=self.guess_base)

@@ -16,6 +16,11 @@ Subcommands
 ``experiment``
     Regenerate one of the paper's tables/figures at a chosen preset,
     optionally exporting the rows (``--output result.csv|.json``).
+``serve``
+    Run the resident GBC-as-a-service daemon: load datasets once, keep
+    warm sampling lanes, answer concurrent top-K queries over a
+    line-delimited JSON TCP/Unix-socket API with result caching and
+    request coalescing (see ``docs/serving.md``).
 ``datasets``
     List the Table I registry.
 ``check``
@@ -95,6 +100,7 @@ from .graph import (
 )
 from .obs import CallbackSink, JsonlSink, Telemetry
 from .paths import exact_gbc
+from .serve.protocol import result_payload
 from .session import SamplingSession
 
 __all__ = ["main", "build_parser"]
@@ -356,6 +362,111 @@ def build_parser() -> argparse.ArgumentParser:
         "the result metadata)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident query daemon (load graphs once, answer "
+        "concurrent top-K queries over line-delimited JSON)",
+    )
+    serve.add_argument(
+        "--dataset",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="registry dataset to hold resident (repeatable)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="graph-materialization seed for synthetic datasets "
+        "(default 0); queries whose seed matches answer bit-identically "
+        "to `run --seed`",
+    )
+    serve.add_argument(
+        "--whole-graph",
+        action="store_true",
+        help="do not restrict datasets to their giant component",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7332,
+        help="TCP port (0 = ephemeral; see --ready-file). Default 7332",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on a Unix socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="serial",
+        help="execution engine every query samples through",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --engine process/epoch",
+    )
+    serve.add_argument(
+        "--kernel", choices=list(KERNELS), default="wavefront",
+        help="traversal kernel (default wavefront)",
+    )
+    serve.add_argument(
+        "--epoch-size", type=int, default=None, metavar="N",
+        help="samples per epoch for --engine epoch",
+    )
+    serve.add_argument(
+        "--delta", type=int, default=None, metavar="W",
+        help="weighted delta-stepping bucket width",
+    )
+    serve.add_argument(
+        "--cache-sources", type=int, default=0, metavar="N",
+        help="forward-BFS tree cache size per sampler",
+    )
+    serve.add_argument(
+        "--mmap",
+        metavar="DIR",
+        default=None,
+        help="spill each loaded dataset to DIR/<name>/ and serve it "
+        "memory-mapped (out-of-core tier)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="LRU result-cache capacity in queries (default 128; 0 off)",
+    )
+    serve.add_argument(
+        "--warm-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint warm sampling lanes here on drain and thaw "
+        "them at the next startup",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound endpoint as JSON to PATH once listening "
+        "(how scripts learn an ephemeral --port 0)",
+    )
+    serve.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="write serve telemetry (request events, counters) as "
+        "JSON lines to PATH",
+    )
+    serve.add_argument(
+        "--debug-invariants",
+        action="store_true",
+        help="validate every sampled path while serving (slow)",
+    )
+
     sub.add_parser("datasets", help="list the Table I dataset registry")
 
     check = sub.add_parser(
@@ -500,20 +611,10 @@ def _load_graph(args):
 def _result_payload(result, k: int) -> dict:
     """The deterministic result contract written by ``--json``.
 
-    Deliberately excludes wall-clock time and checkpoint/resume
-    bookkeeping, so an interrupted-and-resumed run and an uninterrupted
-    one produce byte-identical files (the CI resume check diffs them).
+    Shared with the serve daemon (:mod:`repro.serve.protocol`), whose
+    cold-lane responses must be byte-comparable to these files.
     """
-    return {
-        "algorithm": result.algorithm,
-        "k": int(k),
-        "group": sorted(int(v) for v in result.group),
-        "estimate": result.estimate,
-        "estimate_unbiased": result.estimate_unbiased,
-        "num_samples": int(result.num_samples),
-        "iterations": int(result.iterations),
-        "converged": bool(result.converged),
-    }
+    return result_payload(result, k)
 
 
 def _print_result(result, graph, args, k: int) -> None:
@@ -725,6 +826,45 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # imported lazily: the daemon pulls in asyncio machinery most CLI
+    # invocations never need
+    from .serve.daemon import ServerConfig, serve_main
+
+    datasets = {}
+    for name in args.dataset:
+        graph = load(name, seed=args.seed, giant_only=not args.whole_graph)
+        if args.mmap is not None:
+            target = f"{args.mmap.rstrip('/')}/{name}"
+            if not is_mmap_graph(target):
+                save_mmap(graph, target)
+            graph = load_mmap(target)
+        datasets[name] = graph
+        print(
+            f"serve: loaded {name}: n={graph.n} m={graph.num_edges}"
+            + (f" (mmap: {graph.mmap_source})" if graph.mmap_source else ""),
+            file=sys.stderr,
+        )
+    config = ServerConfig(
+        datasets=datasets,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        engine=args.engine,
+        workers=args.workers,
+        kernel=args.kernel,
+        cache_sources=args.cache_sources,
+        epoch_size=args.epoch_size,
+        delta=args.delta,
+        cache_size=args.cache_size,
+        warm_dir=args.warm_dir,
+        log_json=args.log_json,
+        ready_file=args.ready_file,
+        debug=args.debug_invariants,
+    )
+    return serve_main(config)
+
+
 def _cmd_check(args) -> int:
     # imported lazily: the checker is pure stdlib + the obs registry,
     # but most CLI invocations never need it
@@ -761,6 +901,7 @@ def main(argv=None) -> int:
         "resume": _cmd_resume,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
         "datasets": _cmd_datasets,
         "check": _cmd_check,
     }

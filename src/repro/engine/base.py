@@ -71,6 +71,17 @@ __all__ = [
 #:     its concrete samples differ from the cohort kernels.
 KERNELS = ("wavefront", "scalar", "grouped")
 
+#: (requested kernel, method) pairs already warned about in this
+#: process.  The *warning* is process-wide — a daemon building many
+#: engines must not repeat it per engine — while the stats field and
+#: the ``paths.kernel_fallbacks`` counter still tick once per engine.
+_FALLBACK_WARNED: set[tuple[str, str]] = set()
+
+
+def _reset_fallback_warnings() -> None:
+    """Forget which kernel fallbacks were warned about (test hook)."""
+    _FALLBACK_WARNED.clear()
+
 
 def resolve_kernel(kernel: str, graph: CSRGraph, method: str) -> str:
     """Validate ``kernel`` and apply the automatic fallbacks.
@@ -276,14 +287,22 @@ class SampleEngine(abc.ABC):
 
     # ------------------------------------------------------------------
     def _note_kernel_fallback(self, requested: str) -> None:
-        """Record — once, at draw time, after telemetry is attached —
-        that the requested cohort kernel degraded to the legacy grouped
-        path, so fallbacks are observable instead of silent."""
+        """Record — once per engine, at draw time, after telemetry is
+        attached — that the requested cohort kernel degraded to the
+        legacy grouped path, so fallbacks are observable instead of
+        silent.  The stats field and counter tick for every engine; the
+        ``RuntimeWarning`` is emitted at most once per process per
+        (kernel, method) pair so long-lived daemons don't spam stderr.
+        """
         if self._fallback_noted:
             return
         self._fallback_noted = True
         self.stats.kernel_fallbacks += 1
         self.telemetry.count("paths.kernel_fallbacks", 1)
+        key = (requested, self.method)
+        if key in _FALLBACK_WARNED:
+            return
+        _FALLBACK_WARNED.add(key)
         warnings.warn(
             f"traversal kernel {requested!r} has no cohort schedule for "
             f"method={self.method!r}; falling back to the 'grouped' sampler",

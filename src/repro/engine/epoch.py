@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from contextlib import contextmanager
 from queue import Empty
 
 from .._rng import indexed_seed, stream_entropy
@@ -424,6 +425,25 @@ class EpochEngine(SampleEngine):
             0 if (self._broken or self.workers == 0) else self.workers
         )
 
+    @contextmanager
+    def _reap_on_error(self):
+        """Stop the persistent workers when an exception escapes a
+        ``draw``/``extend`` body.
+
+        Without this, an error raised between ``_ensure_workers`` and
+        ``close`` (a coverage append failing, an invariant check, a
+        ``KeyboardInterrupt``) leaves daemon children sampling forever
+        if the caller holds the engine in a reference cycle —
+        ``__del__`` is belt-and-braces, not a guarantee.  The engine
+        stays usable: the next draw lazily restarts the pool.
+        """
+        try:
+            yield
+        except BaseException:
+            self._shutdown_workers()
+            self._release_segments()
+            raise
+
     # ------------------------------------------------------------------
     # SampleEngine interface
     # ------------------------------------------------------------------
@@ -443,12 +463,13 @@ class EpochEngine(SampleEngine):
         if take:
             samples.extend(self._carry[:take])
             del self._carry[:take]
-        while len(samples) < count:
-            packed, _info, _pid = self._next_epoch()
-            epoch_samples = unpack_samples(packed)
-            need = count - len(samples)
-            samples.extend(epoch_samples[:need])
-            self._carry.extend(epoch_samples[need:])
+        with self._reap_on_error():
+            while len(samples) < count:
+                packed, _info, _pid = self._next_epoch()
+                epoch_samples = unpack_samples(packed)
+                need = count - len(samples)
+                samples.extend(epoch_samples[:need])
+                self._carry.extend(epoch_samples[need:])
         self.stats.samples += count
         self.stats.draw_calls += 1
         self._update_worker_stat()
@@ -492,22 +513,25 @@ class EpochEngine(SampleEngine):
         )
         appended = 0
         with telemetry.span("draw", engine=self.name, count=needed):
-            if self._carry:
-                for sample in self._carry:
+            with self._reap_on_error():
+                if self._carry:
+                    for sample in self._carry:
+                        if self.debug:
+                            check_sample(self.graph, sample)
+                        instance.add_path(
+                            coverage_nodes(sample, self.include_endpoints)
+                        )
+                    appended += len(self._carry)
+                    self._carry.clear()
+                for _ in range(epochs_needed):
+                    packed, _info, _pid = self._next_epoch()
                     if self.debug:
-                        check_sample(self.graph, sample)
-                    instance.add_path(
-                        coverage_nodes(sample, self.include_endpoints)
+                        for sample in unpack_samples(packed):
+                            check_sample(self.graph, sample)
+                    instance.add_paths_packed(
+                        packed.cov_flat, packed.cov_offsets
                     )
-                appended += len(self._carry)
-                self._carry.clear()
-            for _ in range(epochs_needed):
-                packed, _info, _pid = self._next_epoch()
-                if self.debug:
-                    for sample in unpack_samples(packed):
-                        check_sample(self.graph, sample)
-                instance.add_paths_packed(packed.cov_flat, packed.cov_offsets)
-                appended += len(packed)
+                    appended += len(packed)
         stats.samples += appended
         stats.draw_calls += 1
         telemetry.count("engine.samples", appended)

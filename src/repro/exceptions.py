@@ -46,6 +46,11 @@ class CheckpointError(ReproError):
     applied (corrupt file, mismatched graph, incompatible provenance)."""
 
 
+class ServeError(ReproError):
+    """The query daemon rejected a request (malformed frame, unknown
+    dataset or algorithm, out-of-range parameters) or could not start."""
+
+
 class SessionInterrupted(ReproError):
     """A run stopped deliberately after writing a checkpoint
     (``stop_after_checkpoints``); resume from the reported path to

@@ -49,6 +49,17 @@ COUNTERS: frozenset[str] = frozenset(
         "session.extend_calls",  # extend() requests served
         "session.checkpoints",  # checkpoints written
         "session.restores",  # checkpoints thawed
+        # serving layer (repro.serve daemon)
+        "serve.connections",  # client connections accepted
+        "serve.requests",  # frames received (queries + control)
+        "serve.queries",  # well-formed top-K queries admitted
+        "serve.cache_hits",  # answered from the LRU result cache
+        "serve.cache_misses",  # missed the LRU result cache
+        "serve.coalesced",  # followers attached to an in-flight leader
+        "serve.computed",  # sampling computations actually executed
+        "serve.batched",  # queries that reused a warm lane's samples
+        "serve.samples_reused",  # warm-store samples inherited by queries
+        "serve.errors",  # requests rejected or failed
     }
 )
 
@@ -59,6 +70,8 @@ EVENTS: frozenset[str] = frozenset(
         "iteration",  # one outer-loop iteration of a sampling algorithm
         "capped",  # a sample-budget cap preempted the stopping rule
         "engine.epoch.barrier",  # one epoch-boundary stopping-rule evaluation
+        "serve.request",  # one served query (outcome + latency)
+        "serve.drain",  # one graceful-drain pass (checkpoints written)
     }
 )
 

@@ -1,0 +1,32 @@
+"""GBC-as-a-service: the long-lived top-K query daemon.
+
+The ROADMAP's serving layer: load each graph once, keep one warm
+:class:`~repro.session.SamplingSession` lane per
+(dataset, algorithm, seed), and answer concurrent top-K queries over a
+line-delimited JSON API with result caching, single-flight request
+coalescing, and warm-store sample reuse.
+
+Entry points:
+
+* :func:`repro.serve.daemon.serve_main` — the ``repro-gbc serve``
+  subcommand body.
+* :class:`repro.serve.client.ServeClient` — a small blocking client
+  for scripts and tests.
+
+See ``docs/serving.md`` for the wire protocol, the cache/coalescing
+semantics, and the drain behavior.
+"""
+
+from __future__ import annotations
+
+from .cache import LRUCache
+from .client import ServeClient
+from .protocol import QueryKey, parse_request, result_payload
+
+__all__ = [
+    "LRUCache",
+    "QueryKey",
+    "ServeClient",
+    "parse_request",
+    "result_payload",
+]

@@ -1,0 +1,62 @@
+"""A small LRU result cache for the query daemon.
+
+Keys are :class:`~repro.serve.protocol.QueryKey` instances; values are
+the finished JSON result payloads.  The daemon is single-threaded on
+its event loop, so no locking is needed here — the compute thread
+never touches the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..exceptions import ParameterError
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` inserts or refreshes and evicts
+    the coldest entry past ``capacity``.  ``capacity=0`` disables
+    caching (every ``get`` misses).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ParameterError(
+                f"cache capacity must be non-negative, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """The cached value, or ``None``; refreshes recency on a hit."""
+        if key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) ``key``; evicts the coldest entry when
+        over capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -33,6 +33,7 @@ from ..engine import SampleEngine, create_engine
 from ..exceptions import CheckpointError, ParameterError
 from ..graph.csr import CSRGraph
 from ..obs import as_telemetry
+from ..paths._dispatch import is_weighted
 from .store import SampleStore, _atomic_savez
 
 __all__ = ["SamplingSession", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
@@ -42,12 +43,29 @@ CHECKPOINT_VERSION = 1
 
 
 def _graph_fingerprint(graph: CSRGraph) -> dict:
-    """A light identity check for resume-time validation."""
+    """A light identity check for resume-time validation.
+
+    Covers mmap-loaded graphs too: :func:`repro.graph.mmap.load_graph`
+    returns a regular :class:`CSRGraph`/``WeightedCSRGraph`` whose
+    ``n``/``m``/``directed``/weightedness describe the mapped arrays,
+    so a checkpoint taken on an in-memory graph resumes cleanly on the
+    same graph spilled to an mmap directory — and a *different* mapped
+    graph is rejected like any other mismatch.
+    """
     return {
         "n": int(graph.n),
         "m": int(graph.num_edges),
         "directed": bool(graph.directed),
+        "weighted": is_weighted(graph),
     }
+
+
+def _describe_graph(graph: CSRGraph, fingerprint: dict) -> str:
+    """A human-readable fingerprint, naming the mmap source if any."""
+    text = json.dumps(fingerprint, sort_keys=True)
+    if graph.mmap_source is not None:
+        text += f" (mmap: {graph.mmap_source})"
+    return text
 
 
 class SamplingSession:
@@ -115,23 +133,31 @@ class SamplingSession:
             "epoch_size": epoch_size,
             "delta": delta,
         }
-        self.engines: list[SampleEngine] = [
-            create_engine(
-                engine,
-                graph,
-                seed=child,
-                method=method,
-                include_endpoints=include_endpoints,
-                workers=workers,
-                kernel=kernel,
-                cache_sources=cache_sources,
-                epoch_size=epoch_size,
-                delta=delta,
-                telemetry=self.telemetry,
-                debug=debug,
-            )
-            for child in spawn(as_generator(seed), lanes)
-        ]
+        self.engines: list[SampleEngine] = []
+        try:
+            for child in spawn(as_generator(seed), lanes):
+                self.engines.append(
+                    create_engine(
+                        engine,
+                        graph,
+                        seed=child,
+                        method=method,
+                        include_endpoints=include_endpoints,
+                        workers=workers,
+                        kernel=kernel,
+                        cache_sources=cache_sources,
+                        epoch_size=epoch_size,
+                        delta=delta,
+                        telemetry=self.telemetry,
+                        debug=debug,
+                    )
+                )
+        except BaseException:
+            # a later lane failing must not leak earlier lanes' worker
+            # processes or shared-memory blocks
+            for built in self.engines:
+                built.close()
+            raise
         self.stores: list[SampleStore] = [
             SampleStore(graph.n, debug=self.debug) for _ in range(lanes)
         ]
@@ -257,10 +283,17 @@ class SamplingSession:
         with hub.span("restore", path=path):
             meta = cls.peek(path)
             fingerprint = _graph_fingerprint(graph)
-            if meta["graph"] != fingerprint:
+            recorded = meta["graph"]
+            # pre-"weighted" checkpoints recorded fewer keys; compare on
+            # what the checkpoint knows so old files stay resumable
+            if {k: v for k, v in fingerprint.items() if k in recorded} != recorded:
                 raise CheckpointError(
-                    f"checkpoint {path!r} was taken on graph "
-                    f"{meta['graph']}, cannot resume on {fingerprint}"
+                    f"graph fingerprint mismatch: checkpoint {path!r} was "
+                    f"taken on {json.dumps(recorded, sort_keys=True)} but "
+                    f"resume was attempted on "
+                    f"{_describe_graph(graph, fingerprint)}; the stores "
+                    "index nodes of the original graph, so resuming here "
+                    "would corrupt results"
                 )
             provenance = meta["provenance"]
             session = cls(

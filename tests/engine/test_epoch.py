@@ -293,6 +293,50 @@ class TestLifecycle:
         straight.close()
         _assert_same_samples(first + second, expected)
 
+    def test_extend_failure_reaps_workers(self, ba200):
+        """An exception escaping ``extend`` must stop the persistent
+        workers even when the caller holds the exception (and through
+        its traceback, the engine) in a reference cycle — the scenario
+        where ``__del__`` never runs and daemon children would
+        otherwise sample forever."""
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        engine = _epoch(ba200, epoch_size=64, workers=2)
+        engine.draw(64)
+        if engine.stats.workers == 0:  # pragma: no cover - sandboxed
+            engine.close()
+            pytest.skip("subprocesses unavailable")
+
+        class Boom(Exception):
+            pass
+
+        instance = CoverageInstance(ba200.n)
+
+        def failing_append(flat, offsets):
+            raise Boom("coverage append failed")
+
+        instance.add_paths_packed = failing_append
+        cycle = []
+        with pytest.raises(Boom) as excinfo:
+            engine.extend(instance, 256)
+        # a cycle through the traceback keeps the engine frames alive,
+        # defeating refcount-driven __del__ cleanup
+        cycle.append(excinfo.value)
+        cycle.append(cycle)
+        leaked = [
+            p
+            for p in set(multiprocessing.active_children()) - before
+            if p.is_alive()
+        ]
+        assert not leaked, f"extend failure leaked workers: {leaked}"
+        # the engine stays restartable: the next draw brings the pool
+        # back and the stream continues from the carried position
+        del instance.add_paths_packed
+        engine.extend(instance, 64)
+        assert instance.num_paths >= 64
+        engine.close()
+
     def test_worker_death_degrades_deterministically(self, ba200):
         engine = _epoch(ba200, epoch_size=64, workers=2)
         first = engine.draw(64)

@@ -23,6 +23,7 @@ import pytest
 
 from repro.algorithms import AdaAlg
 from repro.engine import BatchEngine, EpochEngine, ProcessPoolEngine, create_engine
+from repro.engine.base import _reset_fallback_warnings
 from repro.exceptions import SessionInterrupted
 from repro.graph import barabasi_albert, from_weighted_edges
 from repro.obs import Telemetry
@@ -208,6 +209,7 @@ class TestWeightedResume:
 
 class TestKernelFallbackReporting:
     def test_forward_method_fallback_warns_once(self):
+        _reset_fallback_warnings()
         graph = barabasi_albert(40, 2, seed=1)
         hub = Telemetry()
         engine = create_engine(
@@ -223,6 +225,31 @@ class TestKernelFallbackReporting:
                 engine.draw(20)
             assert engine.stats.kernel_fallbacks == 1
         assert hub.snapshot()["counters"]["paths.kernel_fallbacks"] == 1
+
+    def test_fallback_warning_deduped_per_process(self):
+        # a daemon builds many engines: each still ticks its own stats
+        # field and counter, but only the first one warns
+        _reset_fallback_warnings()
+        graph = barabasi_albert(40, 2, seed=1)
+        hub = Telemetry()
+
+        def make():
+            return create_engine(
+                "batch", graph, seed=3, method="forward", kernel="wavefront",
+                telemetry=hub,
+            )
+
+        with make() as first:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                first.draw(10)
+            assert first.stats.kernel_fallbacks == 1
+        for _ in range(3):
+            with make() as engine:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")  # later engines are silent
+                    engine.draw(10)
+                assert engine.stats.kernel_fallbacks == 1
+        assert hub.snapshot()["counters"]["paths.kernel_fallbacks"] == 4
 
     def test_weighted_wavefront_does_not_fall_back(self, weighted_graph):
         with warnings.catch_warnings():

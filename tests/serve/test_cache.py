@@ -1,0 +1,61 @@
+"""Unit tests for the daemon's LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.serve import LRUCache
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            LRUCache(-1)
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 1 and cache.hits == 0
+
+
+class TestSemantics:
+    def test_hit_and_miss_counting(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_drops_the_coldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now coldest
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, "b" coldest
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache

@@ -95,8 +95,47 @@ class TestCheckpointResume:
             session.extend(5)
             session.checkpoint(path)
         other = erdos_renyi(30, 0.2, seed=0)
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointError) as excinfo:
             SamplingSession.resume(path, other)
+        # the error names BOTH fingerprints so the operator can see
+        # what was swapped, not just that something was
+        message = str(excinfo.value)
+        assert "fingerprint mismatch" in message
+        assert f'"n": {graph.n}' in message
+        assert f'"n": {other.n}' in message
+
+    def test_resume_rejects_mismatched_mmap_graph(self, graph, tmp_path):
+        """The fingerprint guard must cover graphs loaded through the
+        out-of-core mmap tier, and the error must say which spill
+        directory the wrong graph came from."""
+        from repro.graph.mmap import load_mmap, save_mmap
+
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=1) as session:
+            session.extend(5)
+            session.checkpoint(path)
+        other = erdos_renyi(30, 0.2, seed=0)
+        spill = save_mmap(other, str(tmp_path / "other.graph"))
+        mapped = load_mmap(spill)
+        with pytest.raises(CheckpointError) as excinfo:
+            SamplingSession.resume(path, mapped)
+        message = str(excinfo.value)
+        assert "fingerprint mismatch" in message
+        assert "mmap" in message and "other.graph" in message
+
+    def test_resume_accepts_same_graph_via_mmap(self, graph, tmp_path):
+        """Round-tripping the SAME graph through the mmap tier keeps
+        its checkpoints resumable — n/m/directedness/weights all agree."""
+        from repro.graph.mmap import load_mmap, save_mmap
+
+        path = str(tmp_path / "ck.npz")
+        with SamplingSession(graph, seed=1) as session:
+            session.extend(5)
+            session.checkpoint(path)
+        mapped = load_mmap(save_mmap(graph, str(tmp_path / "same.graph")))
+        thawed, _ = SamplingSession.resume(path, mapped)
+        with thawed:
+            assert thawed.total_samples == 5
 
     def test_peek_rejects_foreign_npz(self, tmp_path):
         path = str(tmp_path / "other.npz")
