@@ -1,0 +1,91 @@
+"""CI regression gate for the dynamic-graph benchmark.
+
+Compares a fresh ``bench_dynamic`` export against a checked-in
+baseline recorded at the *same* workload and fails when either
+
+* the surviving fraction of the sample pool after the 1% delta fell
+  below the absolute acceptance floor (40%), or
+* it dropped by more than the tolerance (default 25%, relative)
+  against the baseline.
+
+Reuse is a deterministic function of (graph seed, delta seed, pool
+size, touch radius) — unlike wall-clock it does not wobble with the
+runner — so a drop means the invalidation actually got coarser: a
+wider frontier, a fingerprint false-positive path, or an overlay
+change that touches more nodes per edit.
+
+Usage::
+
+    python benchmarks/check_dynamic_regression.py BASELINE.json FRESH.json \
+        [--tolerance 0.25]
+
+Exit status 0 on pass, 1 on regression or workload mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: meta keys that define the workload; a baseline from a different
+#: scale must not gate a fresh run.
+_WORKLOAD_KEYS = ("n", "m", "pool", "delta_fraction", "touch_radius", "seed")
+
+_REUSE_KEY = "reuse_fraction"
+_FLOOR_KEY = "reuse_floor"
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in bench_dynamic export")
+    parser.add_argument("fresh", help="bench_dynamic export from this run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative reuse-fraction drop (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+
+    mismatched = [
+        key
+        for key in _WORKLOAD_KEYS
+        if baseline["meta"].get(key) != fresh["meta"].get(key)
+    ]
+    if mismatched:
+        print(
+            "bench_dynamic workloads differ on "
+            f"{', '.join(mismatched)} — baseline "
+            f"{ {k: baseline['meta'].get(k) for k in mismatched} } vs fresh "
+            f"{ {k: fresh['meta'].get(k) for k in mismatched} }; "
+            "regenerate the baseline at this preset before gating on it",
+            file=sys.stderr,
+        )
+        return 1
+
+    reference = float(baseline["meta"][_REUSE_KEY])
+    observed = float(fresh["meta"][_REUSE_KEY])
+    floor = float(fresh["meta"].get(_FLOOR_KEY, 0.40))
+    relative_floor = reference * (1.0 - args.tolerance)
+    ok = observed >= floor and observed >= relative_floor
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"dynamic sample reuse: fresh {observed:.1%}, baseline "
+        f"{reference:.1%}, floors abs {floor:.1%} / rel "
+        f"{relative_floor:.1%} (tolerance {args.tolerance:.0%}) "
+        f"-> {verdict}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

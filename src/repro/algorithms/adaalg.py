@@ -178,10 +178,14 @@ class AdaAlg(SamplingAlgorithm):
             # its engines' worker processes)
             selection = session.store(0)  # S — selection set
             validation = session.store(1)  # T — independent validation set
-            if state is not None:
-                # continue the outer loop exactly where the checkpoint
-                # froze it
-                loop = state["loop"]
+            # continue the outer loop exactly where the checkpoint froze
+            # it; a checkpoint without loop state (written by `mutate`
+            # after a graph update invalidated part of the pool) instead
+            # re-enters the stopping rule from iteration 1 over the
+            # warm pool — extends are monotone, so only the shortfall
+            # is resampled
+            loop = state.get("loop") if state is not None else None
+            if loop is not None:
                 start_q = int(loop["q"]) + 1
                 cnt = int(loop["cnt"])
                 group = [int(v) for v in loop["group"]]

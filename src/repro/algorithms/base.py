@@ -344,7 +344,8 @@ class SamplingAlgorithm(GBCAlgorithm):
                     f"checkpoint {self.resume_from!r} was taken for "
                     f"K={state.get('k')}, cannot resume with K={k}"
                 )
-            self._rng.bit_generator.state = state["algorithm_rng"]
+            if state.get("algorithm_rng") is not None:
+                self._rng.bit_generator.state = state["algorithm_rng"]
             self.checkpoint_meta = dict(state.get("meta") or {})
             self._samples_reused = sess.total_samples
             return sess, state, True

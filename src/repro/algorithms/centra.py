@@ -129,10 +129,12 @@ class CentRa(Hedge):
             # state parsing happens inside the try so a malformed
             # checkpoint cannot leak the session's worker processes
             instance = session.store(0)
-            if state is not None:
-                # the MC-ERA draws consumed self._rng, whose state the
-                # checkpoint restored alongside the engine streams
-                loop = state["loop"]
+            # the MC-ERA draws consumed self._rng, whose state the
+            # checkpoint restored alongside the engine streams; a
+            # checkpoint without loop state (post-mutate) restarts the
+            # schedule over the warm pool
+            loop = state.get("loop") if state is not None else None
+            if loop is not None:
                 iterations = skip = int(loop["iterations"])
                 group = [int(v) for v in loop["group"]]
                 estimate = float(loop["estimate"])

@@ -129,11 +129,14 @@ class Hedge(SamplingAlgorithm):
             # state parsing happens inside the try so a malformed
             # checkpoint cannot leak the session's worker processes
             instance = session.store(0)
-            if state is not None:
-                # every completed iteration consumed exactly one schedule
-                # entry, so the iteration count doubles as the resume
-                # cursor
-                loop = state["loop"]
+            # every completed iteration consumed exactly one schedule
+            # entry, so the iteration count doubles as the resume
+            # cursor; a checkpoint without loop state (written by
+            # `mutate` after a graph update) restarts the schedule over
+            # the warm pool — extends are monotone, so only the
+            # shortfall is resampled
+            loop = state.get("loop") if state is not None else None
+            if loop is not None:
                 iterations = skip = int(loop["iterations"])
                 group = [int(v) for v in loop["group"]]
                 estimate = float(loop["estimate"])

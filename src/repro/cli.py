@@ -21,6 +21,12 @@ Subcommands
     warm sampling lanes, answer concurrent top-K queries over a
     line-delimited JSON TCP/Unix-socket API with result caching and
     request coalescing (see ``docs/serving.md``).
+``mutate``
+    Apply an edge-delta file (``+ u v [w]`` / ``- u v`` / ``= u v w``)
+    to a run checkpoint, an mmap graph directory, or a dataset held by
+    a running ``serve`` daemon — invalidating exactly the stored
+    samples that traversed the mutated region and keeping the rest
+    (see ``docs/dynamic-graphs.md``).
 ``datasets``
     List the Table I registry.
 ``check``
@@ -467,6 +473,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every sampled path while serving (slow)",
     )
 
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply an edge-delta file to a checkpoint, an mmap graph "
+        "directory, or a dataset held by a running serve daemon",
+    )
+    mutate.add_argument(
+        "delta_file",
+        metavar="DELTA",
+        help="edge-delta file: one op per line — '+ u v [w]' insert, "
+        "'- u v' delete, '= u v w' reweight; '#' starts a comment",
+    )
+    target = mutate.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="apply to a `run --checkpoint` snapshot: thaw the session, "
+        "migrate it onto the mutated graph (dropping exactly the stale "
+        "samples), save the compacted graph to --out, and rewrite the "
+        "checkpoint so `resume` continues on the new graph",
+    )
+    target.add_argument(
+        "--graph-dir",
+        metavar="DIR",
+        help="apply to a memory-mapped graph directory (written by "
+        "--mmap or `mutate --out`); compacts in place unless --out "
+        "names a different directory",
+    )
+    target.add_argument(
+        "--dataset",
+        metavar="NAME",
+        help="apply to a dataset held by a running serve daemon "
+        "(needs --port or --socket); the daemon migrates its warm "
+        "lanes and evicts the superseded cache entries",
+    )
+    mutate.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="directory for the compacted graph in the mmap format "
+        "(required with --checkpoint; defaults to in-place with "
+        "--graph-dir)",
+    )
+    mutate.add_argument(
+        "--checkpoint-out",
+        metavar="PATH",
+        default=None,
+        help="write the migrated checkpoint here instead of replacing "
+        "the input (only with --checkpoint)",
+    )
+    mutate.add_argument(
+        "--touch-radius",
+        type=int,
+        default=1,
+        metavar="R",
+        help="hops to expand the touched-node frontier around each "
+        "mutated edge when invalidating stored samples (default 1)",
+    )
+    mutate.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    mutate.add_argument(
+        "--port", type=int, default=None, help="daemon TCP port"
+    )
+    mutate.add_argument(
+        "--socket", metavar="PATH", default=None, help="daemon Unix socket"
+    )
+
     sub.add_parser("datasets", help="list the Table I dataset registry")
 
     check = sub.add_parser(
@@ -865,6 +936,126 @@ def _cmd_serve(args) -> int:
     return serve_main(config)
 
 
+def _mutate_daemon(args, update) -> int:
+    """Forward the delta to a running serve daemon's ``mutate`` op."""
+    from .serve.client import ServeClient
+
+    if args.port is None and not args.socket:
+        raise SystemExit(
+            "error: mutate --dataset needs the daemon endpoint "
+            "(--port or --socket)"
+        )
+    with ServeClient(
+        host=args.host, port=args.port, socket_path=args.socket
+    ) as client:
+        answer = client.mutate(
+            args.dataset,
+            insert=update.inserts.tolist(),
+            delete=update.deletes.tolist(),
+            reweight=update.reweights.tolist(),
+            touch_radius=args.touch_radius,
+        )
+    mutated = answer["mutated"]
+    print(f"dataset     : {mutated['dataset']} (version {mutated['version']})")
+    print(f"ops applied : {mutated['ops']}")
+    print(f"touched     : {mutated['touched']} node(s)")
+    print(f"lanes       : {mutated['lanes_updated']} migrated, "
+          f"{mutated['invalidated']} sample(s) invalidated, "
+          f"{mutated['surviving']} kept warm")
+    print(f"cache       : {mutated['cache_evicted']} entries evicted")
+    print(f"graph       : n={mutated['n']} m={mutated['m']}")
+    return 0
+
+
+def _mutate_graph_dir(args, update) -> int:
+    """Compact the delta into an mmap graph directory."""
+    from .graph.delta import DeltaGraph
+
+    graph = load_mmap(args.graph_dir)
+    delta = DeltaGraph(graph, touch_radius=args.touch_radius)
+    touched = delta.apply(update)
+    new_graph = delta.compact()
+    target = args.out or args.graph_dir
+    save_mmap(new_graph, target)
+    print(f"ops applied : {update.num_ops}")
+    print(f"touched     : {touched.size} node(s)")
+    print(f"graph       : n={new_graph.n} m={new_graph.num_edges}")
+    print(f"written     : {target}")
+    return 0
+
+
+def _mutate_checkpoint(args, update) -> int:
+    """Migrate a run checkpoint onto the mutated graph."""
+    if args.out is None:
+        raise SystemExit(
+            "error: mutate --checkpoint needs --out DIR to hold the "
+            "compacted graph (the rewritten checkpoint resumes against it)"
+        )
+    path = args.checkpoint
+    meta = SamplingSession.peek(path)
+    state = meta.get("state") or {}
+    saved = state.get("meta") or {}
+    if not saved or "algorithm" not in saved:
+        raise CheckpointError(
+            f"{path!r} does not carry CLI run provenance; mutate "
+            "library-API checkpoints through "
+            "SamplingSession.resume(...).apply_update(...) instead"
+        )
+
+    class _GraphArgs:
+        dataset = saved.get("dataset")
+        edge_list = saved.get("edge_list")
+        directed = bool(saved.get("directed"))
+        weighted = bool(saved.get("weighted"))
+        whole_graph = bool(saved.get("whole_graph"))
+        seed = saved.get("seed", 0)
+        mmap = saved.get("mmap")
+
+    graph = _load_graph(_GraphArgs)
+    session, state = SamplingSession.resume(path, graph)
+    try:
+        stats = session.apply_update(update, touch_radius=args.touch_radius)
+        save_mmap(session.graph, args.out)
+        # rewrite the checkpoint against the compacted graph: the CLI
+        # provenance now points at the mmap directory (resume opens it
+        # directly), and the loop state is cleared — the resumed
+        # algorithm re-enters its stopping rule over the warm pool,
+        # resampling only the invalidated shortfall
+        new_state = dict(state or {})
+        new_state["loop"] = None
+        provenance = dict(new_state.get("meta") or {})
+        provenance.update(
+            dataset=None,
+            edge_list=args.out,
+            whole_graph=True,
+            mmap=None,
+        )
+        new_state["meta"] = provenance
+        out_path = args.checkpoint_out or path
+        session.checkpoint(out_path, state=new_state)
+    finally:
+        session.close()
+    print(f"ops applied : {update.num_ops}")
+    print(f"touched     : {stats['touched']} node(s)")
+    print(f"samples     : {stats['invalidated']} invalidated, "
+          f"{stats['surviving']} kept")
+    print(f"graph       : n={session.graph.n} m={session.graph.num_edges} "
+          f"-> {args.out}")
+    print(f"checkpoint  : {out_path}")
+    return 0
+
+
+def _cmd_mutate(args) -> int:
+    from .graph.delta import read_delta_file
+
+    update = read_delta_file(args.delta_file)
+    if args.dataset:
+        return _mutate_daemon(args, update)
+    if args.graph_dir:
+        return _mutate_graph_dir(args, update)
+    return _mutate_checkpoint(args, update)
+
+
 def _cmd_check(args) -> int:
     # imported lazily: the checker is pure stdlib + the obs registry,
     # but most CLI invocations never need it
@@ -902,6 +1093,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
+        "mutate": _cmd_mutate,
         "datasets": _cmd_datasets,
         "check": _cmd_check,
     }

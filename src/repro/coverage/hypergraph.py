@@ -80,6 +80,10 @@ class CoverageInstance:
         # (surfaced as EngineStats.coverage_* and telemetry coverage.*)
         self.rebuilds = 0
         self.rebuilt_elements = 0
+        # sample-invalidation accounting (repro.graph.delta updates):
+        # compaction passes executed and paths dropped across them
+        self.removals = 0
+        self.removed_paths = 0
 
     # ------------------------------------------------------------------
     def _escape(self, array: np.ndarray) -> np.ndarray:
@@ -170,6 +174,47 @@ class CoverageInstance:
         np.add.at(self._degrees, flat, 1)
         self._inc_indptr = None
         self._inc_paths = None
+
+    def remove_paths(self, drop: np.ndarray) -> int:
+        """Drop every path flagged in the boolean mask ``drop``.
+
+        Surviving paths are compacted in place (ids shift down, order
+        preserved) and the degrees are recounted from the compacted
+        flat array; the node→path incidence is invalidated and rebuilt
+        lazily like after an append.  Returns the number of paths
+        dropped and bumps the ``removals`` / ``removed_paths``
+        counters.
+        """
+        drop = np.asarray(drop, dtype=bool)
+        if drop.shape != (self._num_paths,):
+            raise ParameterError(
+                f"drop mask must have shape ({self._num_paths},), got "
+                f"{drop.shape}"
+            )
+        dropped = int(np.count_nonzero(drop))
+        if dropped == 0:
+            return 0
+        lengths = np.diff(self._offsets[: self._num_paths + 1])
+        keep = ~drop
+        flat = self._flat[: self._flat_len][np.repeat(keep, lengths)]
+        kept_lengths = lengths[keep]
+        count = int(kept_lengths.size)
+        self._flat = _grow(np.empty(_INITIAL_CAPACITY, dtype=np.int64), flat.size)
+        self._flat[: flat.size] = flat
+        self._flat_len = int(flat.size)
+        self._offsets = np.zeros(
+            max(_INITIAL_CAPACITY, count + 1), dtype=np.int64
+        )
+        np.cumsum(kept_lengths, out=self._offsets[1 : count + 1])
+        self._num_paths = count
+        self._degrees = np.bincount(
+            flat, minlength=self.num_nodes
+        ).astype(np.int64)
+        self._inc_indptr = None
+        self._inc_paths = None
+        self.removals += 1
+        self.removed_paths += dropped
+        return dropped
 
     def path(self, pid: int) -> np.ndarray:
         """The (sorted, deduplicated) node array of path ``pid``."""

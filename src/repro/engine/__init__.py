@@ -107,6 +107,13 @@ def create_engine(
     except KeyError:
         known = ", ".join(sorted(ENGINES))
         raise ParameterError(f"unknown engine {name!r}; expected one of: {known}")
+    from ..graph.delta import DeltaGraph  # local import avoids a cycle
+
+    if isinstance(graph, DeltaGraph):
+        # traversal kernels need contiguous CSR arrays: engines run on
+        # the last compacted snapshot, and as_graph() refuses to hand
+        # out a stale one while uncompacted ops are pending
+        graph = graph.as_graph()
     resolve_kernel(kernel, graph, method)  # reject unknown names early
     if epoch_size is not None and epoch_size < 1:
         raise ParameterError(f"epoch_size must be >= 1, got {epoch_size}")

@@ -14,6 +14,7 @@ from .components import (
     weakly_connected_components,
 )
 from .csr import CSRGraph
+from .delta import DeltaGraph, GraphUpdate, read_delta_file
 from .generators import (
     barabasi_albert,
     barbell_graph,
@@ -41,6 +42,9 @@ from .weighted import WeightedCSRGraph, from_weighted_edges
 
 __all__ = [
     "CSRGraph",
+    "DeltaGraph",
+    "GraphUpdate",
+    "read_delta_file",
     "GraphSummary",
     "graph_summary",
     "degree_statistics",

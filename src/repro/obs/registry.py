@@ -36,6 +36,11 @@ COUNTERS: frozenset[str] = frozenset(
         # out-of-core graph tier (repro.graph.mmap)
         "graph.mmap.opens",  # memory-mapped graph directories opened
         "graph.mmap.bytes_mapped",  # bytes attached read-only via np.memmap
+        # dynamic graph tier (repro.graph.delta)
+        "graph.delta.updates",  # update batches applied to an overlay
+        "graph.delta.edges_changed",  # edge inserts/deletes/reweights applied
+        "graph.delta.touched_nodes",  # touched-frontier nodes reported
+        "graph.delta.compactions",  # overlay-to-CSR compactions executed
         # weighted wavefront kernel (repro.paths.wavefront_weighted)
         "paths.weighted_cohorts",  # weighted cohort draws executed
         "paths.bucket_relaxations",  # delta-stepping level relaxation rounds
@@ -49,6 +54,7 @@ COUNTERS: frozenset[str] = frozenset(
         "session.extend_calls",  # extend() requests served
         "session.checkpoints",  # checkpoints written
         "session.restores",  # checkpoints thawed
+        "store.invalidated",  # stored samples dropped by invalidation
         # serving layer (repro.serve daemon)
         "serve.connections",  # client connections accepted
         "serve.requests",  # frames received (queries + control)
@@ -59,6 +65,7 @@ COUNTERS: frozenset[str] = frozenset(
         "serve.computed",  # sampling computations actually executed
         "serve.batched",  # queries that reused a warm lane's samples
         "serve.samples_reused",  # warm-store samples inherited by queries
+        "serve.mutations",  # graph-mutation ops applied by the daemon
         "serve.errors",  # requests rejected or failed
     }
 )
@@ -72,6 +79,8 @@ EVENTS: frozenset[str] = frozenset(
         "engine.epoch.barrier",  # one epoch-boundary stopping-rule evaluation
         "serve.request",  # one served query (outcome + latency)
         "serve.drain",  # one graceful-drain pass (checkpoints written)
+        "session.update",  # one graph update migrated through a session
+        "serve.mutate",  # one daemon-applied graph mutation (outcome)
     }
 )
 

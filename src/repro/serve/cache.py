@@ -58,5 +58,14 @@ class LRUCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def evict(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns
+        the number evicted.  Used by the daemon's ``mutate`` op to
+        retire results computed on a superseded graph version."""
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     def clear(self) -> None:
         self._entries.clear()

@@ -94,6 +94,39 @@ class ServeClient:
             raise ServeError(answer.get("error", "query failed"))
         return answer
 
+    def mutate(
+        self,
+        dataset: str,
+        *,
+        insert=(),
+        delete=(),
+        reweight=(),
+        touch_radius: int = 1,
+    ) -> dict:
+        """Apply an edge delta to a held dataset.
+
+        ``insert`` rows are ``(u, v)`` or ``(u, v, w)``, ``delete``
+        rows ``(u, v)``, ``reweight`` rows ``(u, v, w)``;
+        ``touch_radius`` controls the invalidation frontier around
+        each mutated edge (0 = endpoints only).  Returns the server's
+        ``mutated`` summary (touched frontier size, samples
+        invalidated/surviving across warm lanes, new graph version);
+        raises :class:`~repro.exceptions.ServeError` on rejection.
+        """
+        answer = self.request(
+            {
+                "op": "mutate",
+                "dataset": dataset,
+                "insert": [list(map(int, row)) for row in insert],
+                "delete": [list(map(int, row)) for row in delete],
+                "reweight": [list(map(int, row)) for row in reweight],
+                "touch_radius": int(touch_radius),
+            }
+        )
+        if not answer.get("ok"):
+            raise ServeError(answer.get("error", "mutation failed"))
+        return answer
+
     def ping(self) -> dict:
         return self.request({"op": "ping"})
 

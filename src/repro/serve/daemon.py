@@ -32,6 +32,14 @@ Answer paths, cheapest first:
    to the single-shot ``repro-gbc run`` with the same seed and engine
    configuration.
 
+A ``mutate`` op applies an edge delta to a held dataset *in place*:
+the update compacts into a fresh CSR on the compute thread, every warm
+lane of that dataset migrates onto it (invalidating exactly the stored
+paths that traversed the touched frontier, keeping the rest), and the
+dataset's graph version bumps — retiring the superseded generation's
+cache entries, since :class:`~repro.serve.protocol.QueryKey` carries
+the version it was admitted under.
+
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: stop accepting,
 finish in-flight queries, checkpoint every warm lane to ``--warm-dir``
 (if set), close the sessions (stopping epoch workers and unlinking
@@ -52,10 +60,17 @@ from pathlib import Path
 
 from ..exceptions import CheckpointError, ServeError
 from ..graph.csr import CSRGraph
+from ..graph.delta import DeltaGraph, GraphUpdate
 from ..obs import JsonlSink, Telemetry, monotonic
 from ..session import SamplingSession
 from .cache import LRUCache
-from .protocol import QueryKey, build_algorithm, parse_request, result_payload
+from .protocol import (
+    QueryKey,
+    build_algorithm,
+    parse_mutation,
+    parse_request,
+    result_payload,
+)
 
 __all__ = ["GBCServer", "ServerConfig", "serve_main"]
 
@@ -139,6 +154,9 @@ class GBCServer:
         self.cache = LRUCache(config.cache_size)
         self._inflight: dict[QueryKey, asyncio.Future] = {}
         self._lanes: dict[tuple[str, str, int], _Lane] = {}
+        # per-dataset graph generation, bumped by every mutate op; new
+        # query keys are stamped with it (loop-thread state)
+        self._versions: dict[str, int] = dict.fromkeys(config.datasets, 0)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="gbc-compute"
         )
@@ -186,6 +204,44 @@ class GBCServer:
         ):
             result = algorithm.run(graph, key.k)
         return result_payload(result, key.k), reused
+
+    def _apply_mutation(
+        self, dataset: str, update: GraphUpdate, touch_radius: int = 1
+    ) -> dict:
+        """Apply one edge-delta batch to ``dataset`` (compute thread).
+
+        Runs the update through a :class:`~repro.graph.delta.DeltaGraph`
+        overlay, compacts once, migrates every warm lane of the dataset
+        onto the new snapshot (invalidating exactly the stored paths
+        that traversed the touched frontier), and swaps the held graph.
+        Queries queued behind this job on the single compute thread see
+        the new graph; queries ahead of it finished on the old one.
+        """
+        graph: CSRGraph = self.config.datasets[dataset]
+        delta = DeltaGraph(
+            graph, touch_radius=touch_radius, telemetry=self.telemetry
+        )
+        touched = delta.apply(update)
+        new_graph = delta.compact()
+        invalidated = surviving = lanes_updated = 0
+        for (name, _algorithm, _seed), lane in sorted(self._lanes.items()):
+            if name != dataset:
+                continue
+            stats = lane.session.migrate(new_graph, touched)
+            invalidated += stats["invalidated"]
+            surviving += stats["surviving"]
+            lanes_updated += 1
+        self.config.datasets[dataset] = new_graph
+        return {
+            "dataset": dataset,
+            "ops": int(update.num_ops),
+            "touched": int(touched.size),
+            "lanes_updated": lanes_updated,
+            "invalidated": invalidated,
+            "surviving": surviving,
+            "n": int(new_graph.n),
+            "m": int(new_graph.num_edges),
+        }
 
     def _checkpoint_lanes(self) -> int:
         """Freeze every warm lane to ``warm_dir`` (compute thread)."""
@@ -329,6 +385,36 @@ class GBCServer:
         )
         return answer
 
+    async def _serve_mutation(
+        self, dataset: str, update: GraphUpdate, touch_radius: int = 1
+    ) -> dict:
+        """Run one admitted ``mutate`` op: apply on the compute thread,
+        then retire the superseded generation's cache entries and bump
+        the dataset's version (loop thread)."""
+        hub = self.telemetry
+        began = monotonic()
+        loop = asyncio.get_running_loop()
+        mutated = await loop.run_in_executor(
+            self._executor,
+            partial(self._apply_mutation, dataset, update, touch_radius),
+        )
+        # bump only after the compute thread swapped the graph: queries
+        # admitted during the mutation were stamped with the old version
+        # and computed on the old graph, so their cache entries stay
+        # correct for that generation — and unreachable after this
+        self._versions[dataset] += 1
+        mutated["version"] = self._versions[dataset]
+        mutated["cache_evicted"] = self.cache.evict(
+            lambda key: key.dataset == dataset
+        )
+        hub.count("serve.mutations", 1)
+        hub.event(
+            "serve.mutate",
+            seconds=monotonic() - began,
+            **mutated,
+        )
+        return {"ok": True, "mutated": mutated}
+
     def _stats_payload(self) -> dict:
         lanes = [
             {
@@ -350,6 +436,7 @@ class GBCServer:
                     "m": int(graph.num_edges),
                     "directed": bool(graph.directed),
                     "mmap": graph.mmap_source,
+                    "version": self._versions.get(name, 0),
                 }
                 for name, graph in sorted(self.config.datasets.items())
             },
@@ -374,9 +461,16 @@ class GBCServer:
                 self._executor, self._stats_payload
             )
         if op == "query":
-            key = parse_request(frame, self.config.datasets)
+            key = parse_request(frame, self.config.datasets, self._versions)
             return await self._serve_query(key)
-        raise ServeError(f"unknown op {op!r}; expected query, ping, or stats")
+        if op == "mutate":
+            dataset, update, radius = parse_mutation(
+                frame, self.config.datasets
+            )
+            return await self._serve_mutation(dataset, update, radius)
+        raise ServeError(
+            f"unknown op {op!r}; expected query, ping, stats, or mutate"
+        )
 
     async def _handle_client(self, reader, writer) -> None:
         self.telemetry.count("serve.connections", 1)

@@ -12,9 +12,10 @@ plus a ``served`` block saying how the answer was produced (cache hit,
 coalesced onto an in-flight leader, computed, warm samples reused).
 
 ``op`` values: ``"query"``, ``"ping"`` (liveness), ``"stats"``
-(telemetry counters + lane inventory).  Anything else — or a malformed
-frame — earns ``{"ok": false, "error": ...}`` and leaves the
-connection open.
+(telemetry counters + lane inventory), ``"mutate"`` (apply an edge
+delta to a held dataset; see :func:`parse_mutation`).  Anything else —
+or a malformed frame — earns ``{"ok": false, "error": ...}`` and
+leaves the connection open.
 """
 
 from __future__ import annotations
@@ -22,12 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..algorithms import AdaAlg, CentRa, Exhaust, Hedge
-from ..exceptions import ServeError
+from ..exceptions import GraphError, ServeError
+from ..graph.delta import GraphUpdate
 
 __all__ = [
     "ALGORITHMS",
     "QueryKey",
     "build_algorithm",
+    "parse_mutation",
     "parse_request",
     "result_payload",
 ]
@@ -60,14 +63,14 @@ class QueryKey:
     eps: float
     gamma: float
     seed: int
+    #: The dataset's graph version at admission time.  ``mutate`` bumps
+    #: it, so results cached before an update can never answer queries
+    #: arriving after it — same parameters, different graph, different
+    #: key.
+    version: int = 0
 
 
-def parse_request(frame: dict, datasets) -> QueryKey:
-    """Validate a ``query`` frame against the served ``datasets``.
-
-    Raises :class:`~repro.exceptions.ServeError` with a message safe to
-    echo back to the client.
-    """
+def _named_dataset(frame: dict, datasets) -> str:
     if not isinstance(frame, dict):
         raise ServeError("request frame must be a JSON object")
     dataset = frame.get("dataset")
@@ -76,6 +79,18 @@ def parse_request(frame: dict, datasets) -> QueryKey:
         raise ServeError(
             f"unknown dataset {dataset!r}; this server holds: {known}"
         )
+    return dataset
+
+
+def parse_request(frame: dict, datasets, versions=None) -> QueryKey:
+    """Validate a ``query`` frame against the served ``datasets``.
+
+    ``versions`` (dataset name -> current graph version) stamps the
+    key, keying the daemon's cache and coalescing by graph generation.
+    Raises :class:`~repro.exceptions.ServeError` with a message safe to
+    echo back to the client.
+    """
+    dataset = _named_dataset(frame, datasets)
     algorithm = frame.get("algorithm", "adaalg")
     if algorithm not in ALGORITHMS:
         known = ", ".join(ALGORITHMS)
@@ -102,7 +117,59 @@ def parse_request(frame: dict, datasets) -> QueryKey:
         eps=eps,
         gamma=gamma,
         seed=seed,
+        version=int(versions.get(dataset, 0)) if versions else 0,
     )
+
+
+def parse_mutation(frame: dict, datasets) -> tuple[str, GraphUpdate, int]:
+    """Validate a ``mutate`` frame; returns
+    ``(dataset, update, touch_radius)``.
+
+    The frame carries the ops as JSON lists of edge rows::
+
+        {"op": "mutate", "dataset": "...",
+         "insert": [[u, v], [u, v, w], ...],
+         "delete": [[u, v], ...],
+         "reweight": [[u, v, w], ...],
+         "touch_radius": 1}
+
+    ``touch_radius`` (optional, default 1) controls how many hops the
+    touched-node frontier expands around each mutated edge when
+    invalidating warm-lane samples; 0 = endpoints only.  Shape errors
+    (and graph-level validity, checked later against the actual graph)
+    surface as :class:`~repro.exceptions.ServeError`.
+    """
+    dataset = _named_dataset(frame, datasets)
+    try:
+        radius = int(frame.get("touch_radius", 1))
+    except (TypeError, ValueError):
+        raise ServeError("touch_radius must be an integer")
+    if radius < 0:
+        raise ServeError("touch_radius must be >= 0")
+    try:
+        inserts = [
+            (int(row[0]), int(row[1]), int(row[2]) if len(row) >= 3 else 1)
+            for row in frame.get("insert") or ()
+        ]
+        deletes = [
+            (int(row[0]), int(row[1])) for row in frame.get("delete") or ()
+        ]
+        reweights = [
+            (int(row[0]), int(row[1]), int(row[2]))
+            for row in frame.get("reweight") or ()
+        ]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ServeError(f"malformed mutation op: {exc}")
+    try:
+        update = GraphUpdate.from_ops(inserts, deletes, reweights)
+    except GraphError as exc:
+        raise ServeError(str(exc))
+    if update.is_empty:
+        raise ServeError(
+            "mutate frame carries no ops; expected at least one of "
+            "insert, delete, or reweight"
+        )
+    return dataset, update, radius
 
 
 def build_algorithm(key: QueryKey, *, telemetry=None, debug=False, **engine):

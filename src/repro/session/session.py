@@ -169,6 +169,9 @@ class SamplingSession:
         #: Samples drawn through *this* process's session object —
         #: excludes anything already present at attach/resume time.
         self.samples_drawn = 0
+        #: Graph version of the session's current graph; bumped by
+        #: every migrated update (:meth:`apply_update` / :meth:`migrate`).
+        self.graph_version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -211,6 +214,98 @@ class SamplingSession:
             engine._flush_coverage(store)
 
     # ------------------------------------------------------------------
+    # dynamic-graph updates
+    # ------------------------------------------------------------------
+    def apply_update(self, update, *, touch_radius: int = 1) -> dict:
+        """Apply one :class:`~repro.graph.delta.GraphUpdate` to the
+        session's graph and migrate every lane onto the compacted
+        result; returns the :meth:`migrate` stats dict.
+
+        The update runs through a fresh
+        :class:`~repro.graph.delta.DeltaGraph` overlay (validated op by
+        op, compacted immediately), so after this call the session is
+        again backed by a contiguous CSR every engine can traverse.
+        """
+        from ..graph.delta import DeltaGraph  # local import avoids a cycle
+
+        delta = DeltaGraph(
+            self.graph, touch_radius=touch_radius, telemetry=self.telemetry
+        )
+        touched = delta.apply(update)
+        return self.migrate(delta.compact(), touched)
+
+    def migrate(self, new_graph: CSRGraph, touched_nodes) -> dict:
+        """Move the session onto ``new_graph``, invalidating every
+        stored path that traversed ``touched_nodes``.
+
+        The node universe must be unchanged (the stores index into it
+        by id).  Every lane's engine is rebuilt on the new graph from
+        the recorded provenance with its RNG state carried over, so the
+        surviving pool plus the continued stream stay bit-identically
+        checkpointable.  Returns a stats dict with the new ``version``,
+        the ``touched`` frontier size, the number of ``invalidated``
+        paths, and the ``surviving`` pool size.
+        """
+        if new_graph.n != self.graph.n:
+            raise ParameterError(
+                f"cannot migrate a session across node universes "
+                f"({self.graph.n} -> {new_graph.n}); graph updates mutate "
+                "edges, never nodes"
+            )
+        # capture the stream positions first: mid-epoch engines refuse
+        # to snapshot, and we must not have torn anything down yet
+        rng_states = [engine.rng_state() for engine in self.engines]
+        provenance = self.provenance
+        new_engines: list[SampleEngine] = []
+        try:
+            for child_state in rng_states:
+                engine = create_engine(
+                    provenance["engine"],
+                    new_graph,
+                    seed=0,  # placeholder stream, overwritten below
+                    method=provenance["method"],
+                    include_endpoints=provenance["include_endpoints"],
+                    workers=provenance["workers"],
+                    kernel=provenance["kernel"],
+                    cache_sources=provenance["cache_sources"],
+                    epoch_size=provenance["epoch_size"],
+                    delta=provenance["delta"],
+                    telemetry=self.telemetry,
+                    debug=self.debug,
+                )
+                engine.set_rng_state(child_state)
+                new_engines.append(engine)
+        except BaseException:
+            for built in new_engines:
+                built.close()
+            raise
+        for engine in self.engines:
+            engine.close()
+        self.engines = new_engines
+        self.graph = new_graph
+        self.graph_version += 1
+        invalidated = 0
+        for store in self.stores:
+            invalidated += store.invalidate(touched_nodes)
+            store.graph_version = self.graph_version
+        touched = np.unique(np.asarray(touched_nodes, dtype=np.int64))
+        if invalidated:
+            self.telemetry.count("store.invalidated", invalidated)
+        self.telemetry.event(
+            "session.update",
+            version=self.graph_version,
+            touched=int(touched.size),
+            invalidated=invalidated,
+            surviving=self.total_samples,
+        )
+        return {
+            "version": self.graph_version,
+            "touched": int(touched.size),
+            "invalidated": invalidated,
+            "surviving": self.total_samples,
+        }
+
+    # ------------------------------------------------------------------
     def checkpoint(self, path: str, state: dict | None = None) -> str:
         """Freeze every lane (stores + RNG states) and ``state`` to
         ``path``; returns ``path``.  Atomic — an existing file is
@@ -226,6 +321,7 @@ class SamplingSession:
             "rng_states": [engine.rng_state() for engine in self.engines],
             "num_paths": [store.num_paths for store in self.stores],
             "checkpoints": self.checkpoints_written,
+            "graph_version": self.graph_version,
             "state": state,
         }
         arrays = {"meta": np.asarray(json.dumps(meta))}
@@ -319,8 +415,12 @@ class SamplingSession:
                             graph.n,
                             {
                                 key: payload[f"lane{lane}_{key}"]
+                                # versions/fingerprints are absent in
+                                # pre-dynamic-graph checkpoints
                                 for key in ("flat", "offsets", "degrees",
-                                            "schedule")
+                                            "schedule", "versions",
+                                            "fingerprints")
+                                if f"lane{lane}_{key}" in payload.files
                             },
                             debug=debug,
                         )
@@ -343,6 +443,9 @@ class SamplingSession:
             session.stores = stores
             session.resumed = True
             session.checkpoints_written = int(meta.get("checkpoints", 0))
+            session.graph_version = int(meta.get("graph_version", 0))
+            for store in session.stores:
+                store.graph_version = session.graph_version
         hub.count("session.restores", 1)
         return session, meta.get("state")
 

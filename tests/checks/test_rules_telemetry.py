@@ -154,3 +154,47 @@ class TestUnregisteredTelemetryName:
         )
         assert rule_ids_of(findings) == ["RPR301"]
         assert len(findings) == 2
+
+    def test_dynamic_graph_names_registered(self, findings_for):
+        """The delta-overlay / invalidation / mutate names emit
+        findings-free."""
+        findings = check(
+            findings_for,
+            """
+            def run(self, hub):
+                self.telemetry.count("graph.delta.updates", 1)
+                self.telemetry.count("graph.delta.edges_changed", 5)
+                self.telemetry.count("graph.delta.touched_nodes", 12)
+                self.telemetry.count("graph.delta.compactions", 1)
+                hub.count("store.invalidated", 40)
+                hub.count("serve.mutations", 1)
+                self.telemetry.event("session.update", touched=12)
+                hub.event("serve.mutate", seconds=0.1)
+            """,
+            module="repro.graph.delta",
+        )
+        assert findings == []
+        for name in (
+            "graph.delta.updates",
+            "graph.delta.edges_changed",
+            "graph.delta.touched_nodes",
+            "graph.delta.compactions",
+            "store.invalidated",
+            "serve.mutations",
+        ):
+            assert is_counter(name)
+        assert is_event("session.update")
+        assert is_event("serve.mutate")
+
+    def test_dynamic_graph_typo_still_caught(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def run(self):
+                self.telemetry.count("graph.delta.update", 1)
+                self.telemetry.event("serve.mutated")
+            """,
+            module="repro.serve.daemon",
+        )
+        assert rule_ids_of(findings) == ["RPR301"]
+        assert len(findings) == 2

@@ -112,3 +112,56 @@ class TestValidation:
         np.savez(path, **arrays)
         with pytest.raises(CheckpointError):
             SampleStore.load(path)
+
+
+class TestSnapshotFieldValidation:
+    """``from_arrays``/``load`` name the offending field on bad input."""
+
+    def test_missing_field_named(self):
+        arrays = _filled_store().export_arrays()
+        del arrays["flat"]
+        with pytest.raises(CheckpointError, match="'flat'.*missing"):
+            SampleStore.from_arrays(10, arrays)
+
+    def test_float_dtype_rejected(self):
+        arrays = _filled_store().export_arrays()
+        arrays["flat"] = arrays["flat"].astype(np.float64)
+        with pytest.raises(CheckpointError, match="'flat'.*integer dtype"):
+            SampleStore.from_arrays(10, arrays)
+
+    def test_two_dimensional_array_rejected(self):
+        arrays = _filled_store().export_arrays()
+        arrays["offsets"] = arrays["offsets"].reshape(1, -1)
+        with pytest.raises(CheckpointError, match="'offsets'.*1-D"):
+            SampleStore.from_arrays(10, arrays)
+
+    def test_wrong_length_degrees_named(self):
+        arrays = _filled_store().export_arrays()
+        arrays["degrees"] = arrays["degrees"][:-2]
+        with pytest.raises(CheckpointError, match="'degrees'.*length"):
+            SampleStore.from_arrays(10, arrays)
+
+    def test_wrong_length_versions_named(self):
+        arrays = _filled_store().export_arrays()
+        arrays["versions"] = arrays["versions"][:-1]
+        with pytest.raises(CheckpointError, match="'versions'.*length"):
+            SampleStore.from_arrays(10, arrays)
+
+    def test_narrower_int_widths_accepted(self):
+        arrays = _filled_store().export_arrays()
+        arrays["flat"] = arrays["flat"].astype(np.int32)
+        arrays["offsets"] = arrays["offsets"].astype(np.uint32)
+        clone = SampleStore.from_arrays(10, arrays)
+        assert clone.num_paths == _filled_store().num_paths
+        assert clone.export_arrays()["flat"].dtype == np.int64
+
+    def test_load_surfaces_field_name(self, tmp_path):
+        store = _filled_store()
+        path = str(tmp_path / "pool.npz")
+        store.save(path)
+        with np.load(path, allow_pickle=True) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        arrays["degrees"] = arrays["degrees"].astype(np.float32)
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="'degrees'"):
+            SampleStore.load(path)

@@ -337,3 +337,123 @@ class TestCheckpointResume:
         )
         assert args.checkpoint == "c.npz"
         assert args.checkpoint_every == 3
+
+
+def _delta_file(tmp_path, lines):
+    path = tmp_path / "delta.txt"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestMutateCommand:
+    # k=2 keeps the expected group unambiguous at this coarse eps: the
+    # two BA hubs are clear winners, while the third slot is a
+    # statistical near-tie that warm and cold pools may break
+    # differently within the eps guarantee.
+    _RUN = ["--algorithm", "adaalg", "-k", "2", "--eps", "0.5",
+            "--gamma", "0.1", "--seed", "11"]
+
+    def test_parser_requires_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mutate", "d.txt"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mutate", "d.txt", "--checkpoint", "c", "--graph-dir", "g"]
+            )
+        args = build_parser().parse_args(
+            ["mutate", "d.txt", "--checkpoint", "c", "--out", "g"]
+        )
+        assert args.touch_radius == 1
+        assert args.checkpoint_out is None
+
+    def test_graph_dir_mode_matches_overlay(self, tmp_path, capsys):
+        from repro.graph import (
+            DeltaGraph,
+            GraphUpdate,
+            barabasi_albert,
+            load_mmap,
+            save_mmap,
+        )
+
+        graph = barabasi_albert(40, 2, seed=5)
+        gdir = str(tmp_path / "g")
+        save_mmap(graph, gdir)
+        delta = _delta_file(tmp_path, [
+            "# tiny delta", "+ 3 37", "- 0 1",
+        ])
+        assert main(["mutate", delta, "--graph-dir", gdir]) == 0
+        assert "ops applied : 2" in capsys.readouterr().out
+
+        overlay = DeltaGraph(graph)
+        overlay.apply(GraphUpdate.from_ops([(3, 37, 1)], [(0, 1)], ()))
+        expected = overlay.compact()
+        mutated = load_mmap(gdir)
+        assert mutated.num_edges == expected.num_edges
+        assert (mutated.indptr == expected.indptr).all()
+        assert (mutated.indices == expected.indices).all()
+
+    def test_checkpoint_mode_then_resume_matches_cold_run(
+        self, tmp_path, capsys
+    ):
+        from repro.graph import DeltaGraph, GraphUpdate, save_mmap
+
+        edge_file = str(_ba_edge_list(tmp_path))
+        ck = tmp_path / "ck.npz"
+        code = main(["run", "--edge-list", edge_file, *self._RUN,
+                     "--checkpoint", str(ck), "--stop-after-checkpoints", "1"])
+        assert code == 3
+
+        delta = _delta_file(tmp_path, ["+ 5 71", "+ 9 63", "- 0 2"])
+        gdir = str(tmp_path / "mutated-graph")
+        code = main(["mutate", delta, "--checkpoint", str(ck),
+                     "--out", gdir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invalidated" in out
+
+        warm = tmp_path / "warm.json"
+        assert main(["resume", str(ck), "--json", str(warm)]) == 0
+
+        # cold single-shot run on the compacted graph (the mmap dir is a
+        # valid --edge-list source)
+        from repro.graph import read_edge_list
+
+        base, _ids = read_edge_list(edge_file)
+        overlay = DeltaGraph(base)
+        overlay.apply(GraphUpdate.from_ops(
+            [(5, 71, 1), (9, 63, 1)], [(0, 2)], ()
+        ))
+        cdir = str(tmp_path / "cold-graph")
+        save_mmap(overlay.compact(), cdir)
+        cold = tmp_path / "cold.json"
+        assert main(["run", "--edge-list", cdir, *self._RUN,
+                     "--json", str(cold)]) == 0
+
+        warm_payload = json.loads(warm.read_text())
+        cold_payload = json.loads(cold.read_text())
+        assert sorted(warm_payload["group"]) == sorted(cold_payload["group"])
+        assert warm_payload["converged"]
+
+    def test_checkpoint_mode_requires_out(self, tmp_path):
+        delta = _delta_file(tmp_path, ["+ 0 1"])
+        with pytest.raises(SystemExit, match="--out"):
+            main(["mutate", delta, "--checkpoint", "ck.npz"])
+
+    def test_rejects_library_checkpoint(self, tmp_path):
+        from repro.exceptions import CheckpointError
+        from repro.graph import barabasi_albert
+        from repro.session import SamplingSession
+
+        path = str(tmp_path / "lib.npz")
+        with SamplingSession(barabasi_albert(30, 2, seed=0), seed=1) as s:
+            s.extend(10)
+            s.checkpoint(path)
+        delta = _delta_file(tmp_path, ["+ 0 1"])
+        with pytest.raises(CheckpointError, match="provenance"):
+            main(["mutate", delta, "--checkpoint", path,
+                  "--out", str(tmp_path / "g")])
+
+    def test_dataset_mode_requires_endpoint(self, tmp_path):
+        delta = _delta_file(tmp_path, ["+ 0 1"])
+        with pytest.raises(SystemExit, match="endpoint"):
+            main(["mutate", delta, "--dataset", "ba"])
