@@ -331,22 +331,28 @@ class SamplingAlgorithm(GBCAlgorithm):
                 telemetry=self.telemetry,
                 debug=self.debug,
             )
-            if state is None or state.get("algorithm") != self.name:
-                found = None if state is None else state.get("algorithm")
+            # the session owns live worker processes from here on: any
+            # validation failure (including a corrupt rng state blob)
+            # must close it before propagating
+            try:
+                if state is None or state.get("algorithm") != self.name:
+                    found = None if state is None else state.get("algorithm")
+                    raise CheckpointError(
+                        f"checkpoint {self.resume_from!r} belongs to "
+                        f"algorithm {found!r}, cannot resume it with "
+                        f"{self.name}"
+                    )
+                if state.get("k") != k:
+                    raise CheckpointError(
+                        f"checkpoint {self.resume_from!r} was taken for "
+                        f"K={state.get('k')}, cannot resume with K={k}"
+                    )
+                if state.get("algorithm_rng") is not None:
+                    self._rng.bit_generator.state = state["algorithm_rng"]
+                self.checkpoint_meta = dict(state.get("meta") or {})
+            except BaseException:
                 sess.close()
-                raise CheckpointError(
-                    f"checkpoint {self.resume_from!r} belongs to algorithm "
-                    f"{found!r}, cannot resume it with {self.name}"
-                )
-            if state.get("k") != k:
-                sess.close()
-                raise CheckpointError(
-                    f"checkpoint {self.resume_from!r} was taken for "
-                    f"K={state.get('k')}, cannot resume with K={k}"
-                )
-            if state.get("algorithm_rng") is not None:
-                self._rng.bit_generator.state = state["algorithm_rng"]
-            self.checkpoint_meta = dict(state.get("meta") or {})
+                raise
             self._samples_reused = sess.total_samples
             return sess, state, True
         sess = self._fresh_session(graph, lanes)

@@ -1,12 +1,18 @@
 """Project-specific static analysis (``repro.checks``).
 
-An AST-based lint pass enforcing the conventions the repository's
-determinism guarantees rest on: RNG hygiene (``RPR0xx``), determinism
-(``RPR1xx``), cross-process safety (``RPR2xx``), telemetry discipline
-(``RPR3xx``), and exception policy (``RPR4xx``).  Run it with
-``python -m repro.checks src/repro`` or ``repro-gbc check``; the CI
-``checks`` step fails the build on any finding.  Rules, rationale, and
-the suppression syntax are documented in ``docs/static-analysis.md``.
+Two tiers, one report.  The *syntactic* tier is an AST lint pass
+enforcing the conventions the repository's determinism guarantees rest
+on: RNG hygiene (``RPR0xx``), determinism (``RPR1xx``), cross-process
+safety (``RPR2xx``), telemetry discipline (``RPR3xx``), and exception
+policy (``RPR4xx``).  The *dataflow* tier lowers every function to a
+CFG (:mod:`repro.checks.cfg`), runs abstract domains over a shared
+worklist solver (:mod:`repro.checks.dataflow`) and a project call
+graph (:mod:`repro.checks.callgraph`): resource lifecycle
+(``RPR5xx``), event-loop hygiene (``RPR6xx``), and RNG taint
+(``RPR7xx``).  Run it all with ``python -m repro.checks src/repro`` or
+``repro-gbc check``; the CI ``checks`` step fails the build on any
+finding.  Rules, rationale, and the suppression syntax are documented
+in ``docs/static-analysis.md``.
 
 Programmatic use::
 
@@ -47,10 +53,14 @@ __all__ = [
 def _load_rules() -> None:
     """Import every rule module (registration is an import side effect)."""
     from . import (  # noqa: F401  (imported for registration)
+        rules_async,
         rules_determinism,
         rules_exceptions,
+        rules_lifecycle,
         rules_process,
+        rules_registry_drift,
         rules_rng,
+        rules_taint,
         rules_telemetry,
     )
 

@@ -1,0 +1,221 @@
+"""Module-level call graph with alias-resolved qualified names.
+
+Built once per :func:`repro.checks.core.run_checks` invocation over
+every module that parsed, the :class:`ProjectIndex` gives the project
+rules (RPR3xx/6xx) three things the per-file pass cannot provide:
+
+* a table of every function/method definition keyed by canonical
+  dotted name (``repro.serve.daemon.GBCServer._compute``),
+* an alias table that chases re-exports (``repro.session.
+  SamplingSession`` -> ``repro.session.session.SamplingSession``)
+  built from each module's import statements — the same resolver the
+  syntactic rules use (:func:`repro.checks.core.qualified_name`),
+* resolved call edges, caller -> (callee, call node), plus the
+  *unresolved* attribute calls (receiver tail, method name) that the
+  heuristic sink matchers consume.
+
+Resolution is deliberately conservative: a call binds to a definition
+only when the import alias chain reaches it, when it is ``self.``/
+``cls.``-dispatch inside the defining class, or when the method name
+is **unique** across every class in the project (good enough for a
+codebase this size, and wrong resolutions only ever *add* edges to a
+reachability analysis whose findings are then human-reviewed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import ModuleContext, qualified_name, trailing_identifier
+
+__all__ = ["FunctionInfo", "ProjectIndex"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    class_name: str | None = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass
+class _Record:
+    """What the index needs from one parsed module."""
+
+    ctx: ModuleContext
+    tree: ast.AST
+
+
+class ProjectIndex:
+    """Cross-module lookup structures for the project rules."""
+
+    def __init__(self, records):
+        self.records: list[_Record] = list(records)
+        #: canonical qualname -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``module.local`` -> imported dotted target (re-export chase)
+        self.aliases: dict[str, str] = {}
+        #: method name -> set of qualnames defining it
+        self.method_names: dict[str, set[str]] = {}
+        #: caller qualname -> list of (callee qualname, call node)
+        self.calls: dict[str, list[tuple[str, ast.Call]]] = {}
+        #: caller qualname -> list of (receiver tail, attr, call node)
+        #: for attribute calls that did not resolve to a definition
+        self.attr_calls: dict[str, list[tuple[str | None, str, ast.Call]]] = {}
+
+        for record in self.records:
+            self._collect_definitions(record)
+        for record in self.records:
+            ctx = record.ctx
+            for local, target in ctx.imports.items():
+                self.aliases[f"{ctx.module}.{local}"] = target
+        for info in list(self.functions.values()):
+            self._collect_calls(info)
+
+    # ------------------------------------------------------------------
+    def _collect_definitions(self, record: _Record) -> None:
+        module = record.ctx.module
+        for node in getattr(record.tree, "body", []):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(record, node, None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._add_function(record, item, node.name)
+                # the class itself is addressable (Cls.method)
+                self.aliases.setdefault(
+                    f"{module}.{node.name}", f"{module}.{node.name}"
+                )
+
+    def _add_function(
+        self,
+        record: _Record,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        module = record.ctx.module
+        if class_name is None:
+            qualname = f"{module}.{node.name}"
+        else:
+            qualname = f"{module}.{class_name}.{node.name}"
+            self.method_names.setdefault(node.name, set()).add(qualname)
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=module,
+            node=node,
+            ctx=record.ctx,
+            class_name=class_name,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_calls(self, info: FunctionInfo) -> None:
+        resolved: list[tuple[str, ast.Call]] = []
+        unresolved: list[tuple[str | None, str, ast.Call]] = []
+        for call in iter_own_calls(info.node):
+            target = self.resolve_call(call, info.ctx, info.class_name)
+            if target is not None:
+                resolved.append((target, call))
+            elif isinstance(call.func, ast.Attribute):
+                unresolved.append(
+                    (
+                        trailing_identifier(call.func.value),
+                        call.func.attr,
+                        call,
+                    )
+                )
+        self.calls[info.qualname] = resolved
+        self.attr_calls[info.qualname] = unresolved
+
+    # ------------------------------------------------------------------
+    def canonical(self, dotted: str) -> str:
+        """Chase import aliases until a known definition (or fixpoint)."""
+        for _ in range(10):
+            if dotted in self.functions:
+                return dotted
+            parts = dotted.split(".")
+            expanded = None
+            for cut in range(len(parts), 0, -1):
+                prefix = ".".join(parts[:cut])
+                target = self.aliases.get(prefix)
+                if target is not None and target != prefix:
+                    expanded = ".".join([target] + parts[cut:])
+                    break
+            if expanded is None or expanded == dotted:
+                return dotted
+            dotted = expanded
+        return dotted
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        ctx: ModuleContext,
+        class_name: str | None = None,
+    ) -> str | None:
+        """Canonical qualname of ``call``'s callee, if determinable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = f"{ctx.module}.{func.id}"
+            if local in self.functions:
+                return local
+            dotted = ctx.imports.get(func.id)
+            if dotted is not None:
+                canonical = self.canonical(dotted)
+                if canonical in self.functions:
+                    return canonical
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and class_name is not None
+        ):
+            qualname = f"{ctx.module}.{class_name}.{func.attr}"
+            if qualname in self.functions:
+                return qualname
+        dotted = ctx.resolve(func)
+        if dotted is not None:
+            canonical = self.canonical(dotted)
+            if canonical in self.functions:
+                return canonical
+        owners = self.method_names.get(func.attr)
+        if owners is not None and len(owners) == 1:
+            return next(iter(owners))
+        return None
+
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> list[tuple[str, ast.Call]]:
+        return self.calls.get(qualname, [])
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+
+def iter_own_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.Call]:
+    """Calls lexically in ``func``'s body, excluding nested function and
+    lambda bodies (those execute on *their* invocation, not here)."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls

@@ -1,0 +1,529 @@
+"""Control-flow graphs for the dataflow tier of :mod:`repro.checks`.
+
+:func:`build_cfg` lowers one function body (``def`` or ``async def``)
+into basic blocks connected by typed edges.  The graph is deliberately
+fine-grained — **one operation per block** — because the properties the
+dataflow rules prove (resource typestate, taint) change at statement
+granularity and the exception edges the resource rules live on
+originate *between* statements.  Functions are small; precision is
+worth more than block count here.
+
+Shape of the graph:
+
+* :attr:`CFG.entry` — synthetic, no operations, one successor.
+* :attr:`CFG.exit` — every ``return`` and natural fall-off ends here.
+* :attr:`CFG.raise_exit` — where an exception *escaping the function*
+  lands.  A statement that can raise inside a ``try`` gets an
+  ``"except"`` edge to the innermost handler dispatch (or ``finally``)
+  instead; outside any ``try`` the edge goes straight here.  This is
+  the program point the resource-lifecycle rules inspect: state live
+  on entry to ``raise_exit`` is state a caller can never release.
+
+Operations (:class:`Op`) wrap the underlying AST node with a ``kind``
+so transfer functions know how much of a compound statement actually
+executes in the block:
+
+=============  =====================================================
+``stmt``       a simple statement, executed whole
+``test``       the condition expression of an ``if``/``while``
+``for-iter``   iterator evaluation + target binding of a ``for``
+``with-enter`` context-expression evaluation + ``as`` bindings
+``with-exit``  the implicit ``__exit__`` at the end of a ``with``
+``case``       one ``match`` case's pattern (bindings, opaque)
+=============  =====================================================
+
+Edge kinds: ``"next"`` (straight-line), ``"true"``/``"false"``
+(branches), ``"loop"`` (back-edge to a loop header), ``"except"``
+(potential exception transfer), ``"return"``, ``"break"``,
+``"continue"``.  ``try/finally`` is modelled with a single finally
+region whose terminal block fans out to every continuation actually
+used (fall-through, return, break, continue, re-raise) — a sound
+merge, path-insensitive by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Op",
+    "Block",
+    "CFG",
+    "build_cfg",
+    "can_raise",
+    "op_can_raise",
+    "EDGE_KINDS",
+]
+
+#: Every edge kind the builder emits (pinned by the CFG tests).
+EDGE_KINDS = frozenset(
+    {"next", "true", "false", "loop", "except", "return", "break", "continue"}
+)
+
+#: Method names assumed never to raise for exception-edge purposes.
+#: ``list.append`` is the acquire-then-publish idiom
+#: (``self._blocks.append(SharedMemory(...))`` / ``procs.append(proc)``)
+#: and treating it as raising would make every correct publication look
+#: like a leak window.
+_NON_RAISING_METHODS = frozenset({"append"})
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation a block executes (see module docstring)."""
+
+    kind: str
+    node: ast.AST
+
+
+class Block:
+    """One basic block: at most one operation, typed out-edges."""
+
+    __slots__ = ("index", "label", "ops", "succ", "pred")
+
+    def __init__(self, index: int, label: str):
+        self.index = index
+        self.label = label
+        self.ops: list[Op] = []
+        #: ``(successor, kind)`` pairs, in emission order.
+        self.succ: list[tuple["Block", str]] = []
+        #: ``(predecessor, kind)`` pairs, filled by :meth:`CFG.seal`.
+        self.pred: list[tuple["Block", str]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.index} {self.label}>"
+
+
+def can_raise(node: ast.AST) -> bool:
+    """Whether executing ``node`` may transfer control exceptionally.
+
+    Approximation tuned for the rules this tier runs: calls (minus the
+    :data:`_NON_RAISING_METHODS` allowance), ``await``/``yield``
+    (generators can have exceptions thrown into them at every
+    suspension point — a real leak vector), ``raise`` and ``assert``.
+    Attribute and subscript evaluation are deliberately *not* counted;
+    they would drown the resource rules in never-happens edges.
+    """
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Await, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _NON_RAISING_METHODS
+            ):
+                continue
+            return True
+    return False
+
+
+def op_can_raise(op: Op) -> bool:
+    """:func:`can_raise` scoped to what the op actually *evaluates*.
+
+    Header ops of compound statements carry the whole statement node
+    for location reporting, but only execute a slice of it: a ``test``
+    op runs the condition, ``for-iter`` the iterator, ``with-enter``
+    the context expressions.  Scoping the raise check to that slice
+    keeps body-only calls from adding a spurious exception edge on the
+    header (the body statements carry their own edges).
+    """
+    node = op.node
+    if op.kind == "test":
+        expr = getattr(node, "test", None)
+        if expr is None:  # a match statement: evaluates the subject
+            expr = getattr(node, "subject", None)
+        return expr is not None and can_raise(expr)
+    if op.kind == "for-iter":
+        if isinstance(node, ast.AsyncFor):
+            return True  # __anext__ is awaited
+        return can_raise(node.iter)
+    if op.kind == "with-enter":
+        if isinstance(node, ast.AsyncWith):
+            return True  # __aenter__ is awaited
+        return any(can_raise(item.context_expr) for item in node.items)
+    if op.kind == "case":
+        return False  # pattern/handler binding is opaque, non-raising
+    return can_raise(node)
+
+
+@dataclass
+class _Scope:
+    """Builder context threaded through one statement region."""
+
+    #: Innermost block an exception lands on (handler dispatch, finally
+    #: entry, or the function's ``raise_exit``).
+    exc_target: Block
+    break_target: Block | None = None
+    continue_target: Block | None = None
+    #: Innermost enclosing finally region, as ``(entry, terminal)``;
+    #: early exits (return/break/continue) must route through it.
+    finally_region: tuple[Block, Block] | None = None
+    #: The scope surrounding the finally region (for chaining).
+    finally_outer: "_Scope | None" = None
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list[Block] = field(default_factory=list)
+    entry: Block = None  # type: ignore[assignment]
+    exit: Block = None  # type: ignore[assignment]
+    raise_exit: Block = None  # type: ignore[assignment]
+
+    def new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: Block, dst: Block, kind: str) -> None:
+        assert kind in EDGE_KINDS, kind
+        if (dst, kind) not in src.succ:
+            src.succ.append((dst, kind))
+
+    def edges(self) -> list[tuple[Block, Block, str]]:
+        """Every ``(src, dst, kind)`` edge, in block order."""
+        return [
+            (src, dst, kind) for src in self.blocks for dst, kind in src.succ
+        ]
+
+    def seal(self) -> None:
+        """Fill predecessor lists (called once by :func:`build_cfg`)."""
+        for block in self.blocks:
+            block.pred = []
+        for src in self.blocks:
+            for dst, kind in src.succ:
+                dst.pred.append((src, kind))
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = CFG(func)
+        self.cfg.entry = self.cfg.new_block("entry")
+        self.cfg.exit = self.cfg.new_block("exit")
+        self.cfg.raise_exit = self.cfg.new_block("raise")
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        scope = _Scope(exc_target=self.cfg.raise_exit)
+        cursor = self._statements(self.cfg.func.body, self.cfg.entry, scope)
+        if cursor is not None:
+            self.cfg.edge(cursor, self.cfg.exit, "next")
+        self.cfg.seal()
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _op_block(
+        self, op: Op, cursor: Block, scope: _Scope, label: str
+    ) -> Block:
+        """Append one operation as its own block after ``cursor``."""
+        block = self.cfg.new_block(label)
+        block.ops.append(op)
+        self.cfg.edge(cursor, block, "next")
+        if op_can_raise(op):
+            self.cfg.edge(block, scope.exc_target, "except")
+        return block
+
+    def _statements(
+        self, body: list[ast.stmt], cursor: Block | None, scope: _Scope
+    ) -> Block | None:
+        """Lower a statement list; returns the fall-through block, or
+        ``None`` when control cannot fall off the end."""
+        for stmt in body:
+            if cursor is None:
+                # unreachable code still gets blocks (so every op has a
+                # home for tests/tools) but no in-edges — the solver
+                # simply never visits them
+                cursor = self.cfg.new_block("unreachable")
+            cursor = self._statement(stmt, cursor, scope)
+        return cursor
+
+    # ------------------------------------------------------------------
+    def _statement(
+        self, stmt: ast.stmt, cursor: Block, scope: _Scope
+    ) -> Block | None:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, cursor, scope)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, cursor, scope)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cursor, scope)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cursor, scope)
+        if isinstance(stmt, ast.Try) or type(stmt).__name__ == "TryStar":
+            return self._try(stmt, cursor, scope)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cursor, scope)
+        if isinstance(stmt, ast.Return):
+            block = self._op_block(Op("stmt", stmt), cursor, scope, "return")
+            self._early_exit(block, scope, self.cfg.exit, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            block = self.cfg.new_block("raise-stmt")
+            block.ops.append(Op("stmt", stmt))
+            self.cfg.edge(cursor, block, "next")
+            self.cfg.edge(block, scope.exc_target, "except")
+            return None
+        if isinstance(stmt, ast.Break):
+            block = self._op_block(Op("stmt", stmt), cursor, scope, "break")
+            if scope.break_target is not None:
+                self._early_exit(block, scope, scope.break_target, "break")
+            return None
+        if isinstance(stmt, ast.Continue):
+            block = self._op_block(Op("stmt", stmt), cursor, scope, "continue")
+            if scope.continue_target is not None:
+                self._early_exit(
+                    block, scope, scope.continue_target, "continue"
+                )
+            return None
+        # simple statement (incl. nested def/class, which bind a name
+        # and whose bodies are separate analysis units)
+        return self._op_block(Op("stmt", stmt), cursor, scope, "stmt")
+
+    def _early_exit(
+        self, block: Block, scope: _Scope, target: Block, kind: str
+    ) -> None:
+        """Route return/break/continue through any enclosing finally."""
+        if scope.finally_region is not None:
+            entry, terminal = scope.finally_region
+            self.cfg.edge(block, entry, kind)
+            # the finally terminal continues the interrupted transfer;
+            # chain through outer finally regions if any
+            outer = scope.finally_outer
+            if outer is not None and outer.finally_region is not None:
+                self._early_exit(terminal, outer, target, kind)
+            else:
+                self.cfg.edge(terminal, target, kind)
+        else:
+            self.cfg.edge(block, target, kind)
+
+    # ------------------------------------------------------------------
+    def _if(self, stmt: ast.If, cursor: Block, scope: _Scope) -> Block | None:
+        test = self._op_block(Op("test", stmt), cursor, scope, "if-test")
+        after = self.cfg.new_block("if-after")
+        then_entry = self.cfg.new_block("if-then")
+        self.cfg.edge(test, then_entry, "true")
+        then_end = self._statements(stmt.body, then_entry, scope)
+        if then_end is not None:
+            self.cfg.edge(then_end, after, "next")
+        if stmt.orelse:
+            else_entry = self.cfg.new_block("if-else")
+            self.cfg.edge(test, else_entry, "false")
+            else_end = self._statements(stmt.orelse, else_entry, scope)
+            if else_end is not None:
+                self.cfg.edge(else_end, after, "next")
+        else:
+            self.cfg.edge(test, after, "false")
+        return after if after.pred or self._has_in_edges(after) else after
+
+    def _has_in_edges(self, block: Block) -> bool:
+        return any(
+            block is dst for src in self.cfg.blocks for dst, _ in src.succ
+        )
+
+    def _while(
+        self, stmt: ast.While, cursor: Block, scope: _Scope
+    ) -> Block | None:
+        header = self._op_block(Op("test", stmt), cursor, scope, "while-test")
+        after = self.cfg.new_block("while-after")
+        body_entry = self.cfg.new_block("while-body")
+        self.cfg.edge(header, body_entry, "true")
+        self.cfg.edge(header, after, "false")
+        inner = _Scope(
+            exc_target=scope.exc_target,
+            break_target=after,
+            continue_target=header,
+            finally_region=None,
+            finally_outer=scope,
+        )
+        # break/continue inside the loop must NOT route through a
+        # finally that encloses the whole loop — only finallys inside
+        # the loop body matter, and those are pushed by _try below
+        body_end = self._statements(stmt.body, body_entry, inner)
+        if body_end is not None:
+            self.cfg.edge(body_end, header, "loop")
+        if stmt.orelse:
+            else_end = self._statements(stmt.orelse, after, scope)
+            return else_end
+        return after
+
+    def _for(
+        self, stmt: ast.For | ast.AsyncFor, cursor: Block, scope: _Scope
+    ) -> Block | None:
+        header = self._op_block(
+            Op("for-iter", stmt), cursor, scope, "for-iter"
+        )
+        after = self.cfg.new_block("for-after")
+        body_entry = self.cfg.new_block("for-body")
+        self.cfg.edge(header, body_entry, "true")
+        self.cfg.edge(header, after, "false")
+        inner = _Scope(
+            exc_target=scope.exc_target,
+            break_target=after,
+            continue_target=header,
+            finally_region=None,
+            finally_outer=scope,
+        )
+        body_end = self._statements(stmt.body, body_entry, inner)
+        if body_end is not None:
+            self.cfg.edge(body_end, header, "loop")
+        if stmt.orelse:
+            return self._statements(stmt.orelse, after, scope)
+        return after
+
+    def _with(
+        self, stmt: ast.With | ast.AsyncWith, cursor: Block, scope: _Scope
+    ) -> Block | None:
+        enter = self._op_block(
+            Op("with-enter", stmt), cursor, scope, "with-enter"
+        )
+        body_end = self._statements(stmt.body, enter, scope)
+        exit_block = self.cfg.new_block("with-exit")
+        exit_block.ops.append(Op("with-exit", stmt))
+        if can_raise(stmt):  # __exit__ itself may raise
+            self.cfg.edge(exit_block, scope.exc_target, "except")
+        if body_end is not None:
+            self.cfg.edge(body_end, exit_block, "next")
+            return exit_block
+        # body never falls through (returns/raises only); the __exit__
+        # runs on those paths too, but they were already routed — keep
+        # the exit block for completeness without a fall-through
+        return None
+
+    def _try(self, stmt: ast.Try, cursor: Block, scope: _Scope) -> Block | None:
+        after = self.cfg.new_block("try-after")
+
+        finally_region = None
+        finally_scope = scope
+        if stmt.finalbody:
+            fin_entry = self.cfg.new_block("finally")
+            fin_end = self._statements(stmt.finalbody, fin_entry, scope)
+            terminal = fin_end if fin_end is not None else fin_entry
+            finally_region = (fin_entry, terminal)
+            if fin_end is not None:
+                # exceptional continuation: whatever was in flight when
+                # the finally began resumes after it completes
+                self.cfg.edge(terminal, scope.exc_target, "except")
+            finally_scope = _Scope(
+                exc_target=scope.exc_target,
+                break_target=scope.break_target,
+                continue_target=scope.continue_target,
+                finally_region=finally_region,
+                finally_outer=scope,
+            )
+
+        exc_landing = (
+            finally_region[0] if finally_region is not None else scope.exc_target
+        )
+
+        if stmt.handlers:
+            dispatch = self.cfg.new_block("except-dispatch")
+            handled_all = False
+            for handler in stmt.handlers:
+                h_entry = self.cfg.new_block("except-body")
+                # "case": binds the exception name, executes nothing of
+                # the body (those statements get their own blocks)
+                h_entry.ops.append(Op("case", handler))
+                self.cfg.edge(dispatch, h_entry, "true")
+                h_scope = _Scope(
+                    exc_target=exc_landing,
+                    break_target=finally_scope.break_target,
+                    continue_target=finally_scope.continue_target,
+                    finally_region=finally_region,
+                    finally_outer=scope,
+                )
+                h_end = self._statements(handler.body, h_entry, h_scope)
+                if h_end is not None:
+                    if finally_region is not None:
+                        self.cfg.edge(h_end, finally_region[0], "next")
+                    else:
+                        self.cfg.edge(h_end, after, "next")
+                if handler.type is None or _catches_everything(handler.type):
+                    handled_all = True
+            if not handled_all:
+                self.cfg.edge(dispatch, exc_landing, "false")
+            body_exc_target = dispatch
+        else:
+            body_exc_target = exc_landing
+
+        body_scope = _Scope(
+            exc_target=body_exc_target,
+            break_target=finally_scope.break_target,
+            continue_target=finally_scope.continue_target,
+            finally_region=finally_region,
+            finally_outer=scope,
+        )
+        body_end = self._statements(stmt.body, cursor, body_scope)
+
+        if stmt.orelse:
+            # else runs only on clean body completion and its
+            # exceptions are NOT caught by this try's handlers
+            else_scope = _Scope(
+                exc_target=exc_landing,
+                break_target=finally_scope.break_target,
+                continue_target=finally_scope.continue_target,
+                finally_region=finally_region,
+                finally_outer=scope,
+            )
+            body_end = (
+                self._statements(stmt.orelse, body_end, else_scope)
+                if body_end is not None
+                else None
+            )
+
+        if body_end is not None:
+            if finally_region is not None:
+                self.cfg.edge(body_end, finally_region[0], "next")
+            else:
+                self.cfg.edge(body_end, after, "next")
+        if finally_region is not None:
+            self.cfg.edge(finally_region[1], after, "next")
+        return after
+
+    def _match(
+        self, stmt: ast.Match, cursor: Block, scope: _Scope
+    ) -> Block | None:
+        header = self._op_block(Op("test", stmt), cursor, scope, "match")
+        after = self.cfg.new_block("match-after")
+        exhaustive = False
+        for case in stmt.cases:
+            c_entry = self.cfg.new_block("match-case")
+            c_entry.ops.append(Op("case", case))
+            self.cfg.edge(header, c_entry, "true")
+            c_end = self._statements(case.body, c_entry, scope)
+            if c_end is not None:
+                self.cfg.edge(c_end, after, "next")
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                exhaustive = True
+        if not exhaustive:
+            self.cfg.edge(header, after, "false")
+        return after
+
+
+def _catches_everything(annotation: ast.expr) -> bool:
+    """Whether an ``except <annotation>`` clause can catch any raise."""
+    names = set()
+    if isinstance(annotation, ast.Tuple):
+        elements = annotation.elts
+    else:
+        elements = [annotation]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.add(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.add(element.attr)
+    return bool(names & {"BaseException", "Exception"})
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function's body into a :class:`CFG`."""
+    return _Builder(func).build()

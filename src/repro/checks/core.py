@@ -30,6 +30,8 @@ __all__ = [
     "Report",
     "Rule",
     "ModuleContext",
+    "ModuleRecord",
+    "parse_record",
     "check_source",
     "check_file",
     "run_checks",
@@ -196,26 +198,48 @@ class Rule:
     kebab-case slug), and :attr:`rationale` (the invariant the rule
     guards, rendered by ``--list-rules`` and the docs), then implement
     ``visit_<NodeType>`` methods for the AST nodes they care about.
+
+    Rules with :attr:`project` set are **project rules**: instead of
+    the per-node walk they get one :meth:`check_module` call per
+    checked module, after *every* module has been parsed, with a
+    :class:`repro.checks.callgraph.ProjectIndex` giving cross-module
+    visibility (call graph, every definition).  They are still
+    instantiated per module, so :meth:`report` honours that module's
+    suppression comments like any other rule.
     """
 
     id: str = ""
     name: str = ""
     rationale: str = ""
+    #: Project rules need the whole checked module set (see above).
+    project: bool = False
 
     def __init__(self, ctx: ModuleContext):
         self.ctx = ctx
         self.findings: list[Finding] = []
 
+    def check_module(self, tree: ast.AST, project) -> None:
+        """Project-rule hook: inspect this rule's module (``self.ctx``)
+        with cross-module ``project`` context. Default: nothing."""
+
     def report(self, node: ast.AST, message: str) -> None:
         """Record a finding at ``node`` unless suppressed on its line."""
+        self.report_as(self.id, self.name, node, message)
+
+    def report_as(
+        self, rule_id: str, name: str, node: ast.AST, message: str
+    ) -> None:
+        """Record a finding under ``rule_id`` (for analyses that emit
+        several related IDs from one shared pass, e.g. the lifecycle
+        domain emitting RPR501/502/503)."""
         line = getattr(node, "lineno", 1)
-        if self.ctx.is_suppressed(self.id, line):
+        if self.ctx.is_suppressed(rule_id, line):
             self.ctx.suppressed_hits += 1
             return
         self.findings.append(
             Finding(
-                rule=self.id,
-                name=self.name,
+                rule=rule_id,
+                name=name,
                 message=message,
                 path=self.ctx.path,
                 line=line,
@@ -282,6 +306,80 @@ def enclosing_function(node: ast.AST) -> ast.AST | None:
 # ----------------------------------------------------------------------
 # the walk
 # ----------------------------------------------------------------------
+@dataclass
+class ModuleRecord:
+    """One parsed module, kept across files for the project pass."""
+
+    ctx: ModuleContext
+    tree: ast.AST
+
+
+def parse_record(
+    source: str, module: str, path: str
+) -> ModuleRecord | Finding:
+    """Parse one module into a :class:`ModuleRecord`, or the RPR000
+    parse-error :class:`Finding` when it does not parse."""
+    ctx = ModuleContext(source, module, path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return Finding(
+            rule=PARSE_ERROR_ID,
+            name="parse-error",
+            message=f"file could not be parsed: {exc.msg}",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            module=module,
+        )
+    ctx._collect_imports(tree)
+    ctx._collect_suppressions()
+    attach_parents(tree)
+    return ModuleRecord(ctx=ctx, tree=tree)
+
+
+def _check_records(
+    records: list[ModuleRecord], rules: list[type[Rule]] | None
+) -> tuple[list[Finding], int]:
+    """Run the per-node pass on each record, then the project pass over
+    all of them; returns ``(findings, suppressed)``."""
+    active_classes = rules if rules is not None else all_rules()
+    syntactic = [cls for cls in active_classes if not cls.project]
+    project_classes = [cls for cls in active_classes if cls.project]
+
+    findings: list[Finding] = []
+    suppressed = 0
+
+    for record in records:
+        active = [cls(record.ctx) for cls in syntactic]
+        dispatch: dict[str, list[tuple[Rule, object]]] = {}
+        for rule in active:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    dispatch.setdefault(attr[len("visit_") :], []).append(
+                        (rule, getattr(rule, attr))
+                    )
+        for node in ast.walk(record.tree):
+            for _rule, handler in dispatch.get(type(node).__name__, ()):
+                handler(node)
+        findings.extend(f for rule in active for f in rule.findings)
+
+    if project_classes and records:
+        # deferred import: callgraph uses this module's name resolver
+        from .callgraph import ProjectIndex
+
+        index = ProjectIndex(records)
+        for record in records:
+            for cls in project_classes:
+                rule = cls(record.ctx)
+                rule.check_module(record.tree, index)
+                findings.extend(rule.findings)
+
+    suppressed = sum(record.ctx.suppressed_hits for record in records)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
 def check_source(
     source: str,
     module: str = "<string>",
@@ -292,42 +390,13 @@ def check_source(
 
     ``module`` is the dotted module name the allowlists are matched
     against; fixture tests pass e.g. ``"repro.paths.sampler"`` to
-    exercise scope-sensitive rules on synthetic snippets.
+    exercise scope-sensitive rules on synthetic snippets.  Project
+    rules run too, with a single-module :class:`ProjectIndex`.
     """
-    ctx = ModuleContext(source, module, path)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        finding = Finding(
-            rule=PARSE_ERROR_ID,
-            name="parse-error",
-            message=f"file could not be parsed: {exc.msg}",
-            path=path,
-            line=exc.lineno or 1,
-            col=exc.offset or 0,
-            module=module,
-        )
-        return [finding], 0
-    ctx._collect_imports(tree)
-    ctx._collect_suppressions()
-    attach_parents(tree)
-
-    active = [cls(ctx) for cls in (rules if rules is not None else all_rules())]
-    dispatch: dict[str, list[tuple[Rule, object]]] = {}
-    for rule in active:
-        for attr in dir(rule):
-            if attr.startswith("visit_"):
-                dispatch.setdefault(attr[len("visit_") :], []).append(
-                    (rule, getattr(rule, attr))
-                )
-
-    for node in ast.walk(tree):
-        for _rule, handler in dispatch.get(type(node).__name__, ()):
-            handler(node)
-
-    findings = [f for rule in active for f in rule.findings]
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, ctx.suppressed_hits
+    record = parse_record(source, module, path)
+    if isinstance(record, Finding):
+        return [record], 0
+    return _check_records([record], rules)
 
 
 def module_name_for(path: Path) -> str:
@@ -370,7 +439,12 @@ def check_file(
 def run_checks(
     paths: list[str | Path], rules: list[type[Rule]] | None = None
 ) -> Report:
-    """Run every registered rule over ``paths`` (files or directories)."""
+    """Run every registered rule over ``paths`` (files or directories).
+
+    All files are parsed first so the project rules (call-graph
+    reachability, registry drift) see the whole checked tree at once;
+    per-file findings are unaffected by the batching.
+    """
     # importing the package registers the rules; guard against a caller
     # reaching core.run_checks directly before repro.checks loaded them
     if rules is None and not RULES:  # pragma: no cover - defensive
@@ -378,10 +452,19 @@ def run_checks(
 
         _load_rules()
     report = Report()
+    records: list[ModuleRecord] = []
     for path in iter_python_files(paths):
-        findings, suppressed = check_file(path, rules=rules)
-        report.findings.extend(findings)
-        report.suppressed += suppressed
+        source = Path(path).read_text(encoding="utf-8")
+        record = parse_record(
+            source, module=module_name_for(Path(path)), path=str(path)
+        )
         report.files_checked += 1
+        if isinstance(record, Finding):
+            report.findings.append(record)
+        else:
+            records.append(record)
+    findings, suppressed = _check_records(records, rules)
+    report.findings.extend(findings)
+    report.suppressed += suppressed
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

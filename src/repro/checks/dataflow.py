@@ -1,0 +1,152 @@
+"""Generic forward worklist solver for the dataflow tier.
+
+An analysis supplies an abstract domain (initial state, join, copy,
+equality) and a transfer function over :class:`repro.checks.cfg.Op`
+operations.  The solver iterates the CFG to a fixpoint, keeping
+**per-edge** output states: a block's exceptional successors observe a
+different state than its fall-through successors — this distinction is
+the entire point of the resource-lifecycle rules (a constructor that
+raises acquired nothing; a ``close()`` that raises still released).
+
+States are opaque to the solver; analyses typically use plain dicts
+mapping variable names to lattice elements.  ``join`` must be monotone
+and the lattice of finite height or the iteration cap trips
+(:class:`FixpointError`), which the CI timing guard relies on — the
+analyzer failing loudly beats it spinning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Tuple
+
+from .cfg import CFG, Block, Op
+
+__all__ = ["Analysis", "FixpointError", "solve", "BlockStates"]
+
+#: (in_state, out_state, exc_state) per block index.
+BlockStates = Dict[int, Tuple[Any, Any, Any]]
+
+
+class FixpointError(RuntimeError):
+    """The solver failed to converge within its iteration budget."""
+
+
+class Analysis:
+    """Base class for forward dataflow analyses.
+
+    Subclasses implement :meth:`initial`, :meth:`join`, :meth:`copy`
+    and :meth:`transfer`; :meth:`transfer_exception` defaults to the
+    *pre*-state of the raising operation (nothing the operation would
+    have done is observable on the exceptional edge), which individual
+    analyses refine — e.g. the lifecycle domain keeps releases that
+    happened before the raise.
+    """
+
+    def initial(self) -> Any:
+        """Abstract state on entry to the function."""
+        raise NotImplementedError
+
+    def bottom(self) -> Any:
+        """State for not-yet-visited predecessors (identity of join)."""
+        return None
+
+    def copy(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Merge states at a control-flow join. Must be monotone."""
+        raise NotImplementedError
+
+    def equal(self, left: Any, right: Any) -> bool:
+        return bool(left == right)
+
+    def transfer(self, op: Op, state: Any) -> Any:
+        """Return the post-state of executing ``op`` from ``state``."""
+        raise NotImplementedError
+
+    def transfer_exception(self, op: Op, before: Any, after: Any) -> Any:
+        """State observable on ``op``'s exceptional out-edge."""
+        return self.copy(before)
+
+
+def _join_maybe(analysis: Analysis, left: Any, right: Any) -> Any:
+    if left is None:
+        return analysis.copy(right)
+    if right is None:
+        return analysis.copy(left)
+    return analysis.join(left, right)
+
+
+def solve(cfg: CFG, analysis: Analysis, max_passes: int = 1000) -> BlockStates:
+    """Run ``analysis`` over ``cfg`` to a fixpoint.
+
+    Returns ``{block.index: (in_state, out_state, exc_state)}`` for
+    every reached block.  ``exc_state`` is what flows along the block's
+    ``"except"`` out-edge (``None`` when it has none).  Unreachable
+    blocks are absent.  ``max_passes`` bounds *full worklist drains*
+    per block, not individual visits; 1000 is far beyond any finite
+    lattice this package ships and exists to turn an accidental
+    infinite ascent into :class:`FixpointError`.
+    """
+    in_states: dict[int, Any] = {cfg.entry.index: analysis.initial()}
+    out_states: dict[int, Any] = {}
+    exc_states: dict[int, Any] = {}
+    visits: dict[int, int] = {}
+
+    worklist: deque[Block] = deque([cfg.entry])
+    queued = {cfg.entry.index}
+
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.index)
+        visits[block.index] = visits.get(block.index, 0) + 1
+        if visits[block.index] > max_passes:
+            raise FixpointError(
+                f"dataflow solver did not converge at block {block.index} "
+                f"({block.label}) of {getattr(cfg.func, 'name', '<fn>')!r}"
+            )
+
+        state = analysis.copy(in_states[block.index])
+        exc_state: Any = None
+        for op in block.ops:
+            before = state
+            state = analysis.transfer(op, analysis.copy(state))
+            exc_state = _join_maybe(
+                analysis,
+                exc_state,
+                analysis.transfer_exception(op, before, state),
+            )
+        if not block.ops:
+            # empty blocks (entry, joins, dispatch) pass state through;
+            # their except edges — e.g. a finally terminal resuming an
+            # in-flight exception — observe that same state
+            exc_state = analysis.copy(state)
+
+        out_states[block.index] = state
+        exc_states[block.index] = exc_state
+
+        for succ, kind in block.succ:
+            flowing = exc_state if kind == "except" else state
+            if flowing is None:
+                continue
+            merged = _join_maybe(
+                analysis, in_states.get(succ.index), flowing
+            )
+            if succ.index in in_states and analysis.equal(
+                merged, in_states[succ.index]
+            ):
+                continue
+            in_states[succ.index] = merged
+            if succ.index not in queued:
+                worklist.append(succ)
+                queued.add(succ.index)
+
+    result: BlockStates = {}
+    for index, in_state in in_states.items():
+        result[index] = (
+            in_state,
+            out_states.get(index),
+            exc_states.get(index),
+        )
+    return result

@@ -1,0 +1,329 @@
+"""RPR6xx — event-loop hygiene over the project call graph.
+
+**RPR601** walks the call graph from every ``async def`` in the checked
+tree to known-blocking sinks: sampling compute (engine ``extend``/
+``draw``, ``SamplingSession`` methods, ``algorithm.run``), blocking
+file/socket I/O (``open``, ``Path.write_text``, ``subprocess``),
+``time.sleep``, and thread joins (``executor.shutdown``,
+``process.join``).  A sink only counts when it is *called* on the
+coroutine's path — a reference passed to ``run_in_executor``/
+``asyncio.to_thread``/``functools.partial`` is not a call, so the
+sanctioned off-loop pattern passes without any special casing.
+Traversal follows resolved *sync* callees transitively (awaiting
+another coroutine defers to that coroutine's own check).
+
+**RPR602** builds a lock-order digraph: every ``with <...lock>:``
+acquisition records the locks already held (lexically, plus one level
+of resolved calls made under a lock), and any pair acquired in both
+orders anywhere in the project is an inversion — the classic deadlock
+between the compute-lane lock and ``_LockedTelemetry``'s internal
+lock.  Lock identity is ``ClassName.attr`` for ``self.<attr>`` locks
+so two classes' private ``_lock`` attributes stay distinct.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import ProjectIndex, iter_own_calls
+from .core import Rule, trailing_identifier
+from .registry import register
+
+__all__ = ["BlockingCallRule", "LockOrderRule"]
+
+
+# ----------------------------------------------------------------------
+# RPR601 — blocking sinks
+# ----------------------------------------------------------------------
+_BLOCKING_QUALIFIED_PREFIXES = (
+    "subprocess.",
+    "shutil.",
+    "socket.",
+)
+_BLOCKING_QUALIFIED = {
+    "time.sleep": "time.sleep",
+    "os.system": "os.system",
+    "os.popen": "os.popen",
+    "open": "open()",
+    "io.open": "io.open()",
+}
+#: blocking regardless of receiver — Path-style whole-file I/O
+_BLOCKING_ATTRS = {
+    "write_text",
+    "read_text",
+    "write_bytes",
+    "read_bytes",
+    "sample_batch",
+    "sample_cohort",
+}
+#: blocking when the receiver's trailing identifier suggests the
+#: compute objects these methods belong to
+_RECEIVER_SINKS = {
+    "extend": {"engine", "_engine", "session", "_session", "sampler", "lane"},
+    "draw": {"engine", "_engine", "sampler"},
+    "run": {"algorithm", "alg"},
+    "shutdown": {"executor", "_executor", "pool", "_pool"},
+    "join": {"proc", "process", "thread", "worker"},
+    "open": {"path"},
+}
+#: resolved method prefixes that are blocking wholesale
+_BLOCKING_METHOD_PREFIXES = ("repro.session.session.SamplingSession.",)
+
+
+def _blocking_sink(call: ast.Call, ctx, index: ProjectIndex) -> str | None:
+    """Human label of the blocking operation ``call`` performs inline,
+    or ``None``."""
+    dotted = ctx.resolve(call.func)
+    if dotted is not None:
+        canonical = index.canonical(dotted)
+        if dotted in _BLOCKING_QUALIFIED:
+            return _BLOCKING_QUALIFIED[dotted]
+        if dotted.startswith(_BLOCKING_QUALIFIED_PREFIXES):
+            return dotted
+        for prefix in _BLOCKING_METHOD_PREFIXES:
+            if canonical.startswith(prefix):
+                method = canonical[len(prefix) :]
+                return f"SamplingSession.{method}()"
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _BLOCKING_ATTRS:
+            return f".{attr}()"
+        receivers = _RECEIVER_SINKS.get(attr)
+        if receivers is not None:
+            tail = trailing_identifier(call.func.value)
+            if tail is not None and tail.lower() in receivers:
+                return f"{tail}.{attr}()"
+    return None
+
+
+@register
+class BlockingCallRule(Rule):
+    id = "RPR601"
+    name = "blocking-call-in-coroutine"
+    rationale = (
+        "A coroutine runs on the event loop; any inline compute or "
+        "blocking I/O stalls every connected client. Blocking work "
+        "must be routed through run_in_executor/asyncio.to_thread."
+    )
+    project = True
+
+    def check_module(self, tree: ast.AST, project: ProjectIndex) -> None:
+        cache: dict[str, tuple[str, tuple[str, ...]] | None] = {}
+        for info in project.functions.values():
+            if info.module != self.ctx.module or not info.is_async:
+                continue
+            for call in iter_own_calls(info.node):
+                if isinstance(
+                    getattr(call, "_repro_parent", None), ast.Await
+                ):
+                    # `await x(...)`: defers to the awaited coroutine's
+                    # own check
+                    continue
+                sink = _blocking_sink(call, info.ctx, project)
+                if sink is not None:
+                    self.report(
+                        call,
+                        f"coroutine '{info.node.name}' calls blocking "
+                        f"{sink} on the event loop — route it through "
+                        "run_in_executor/asyncio.to_thread",
+                    )
+                    continue
+                target = project.resolve_call(call, info.ctx, info.class_name)
+                if target is None:
+                    continue
+                callee = project.function(target)
+                if callee is None or callee.is_async:
+                    continue
+                reached = _reaches_blocking(project, target, cache, ())
+                if reached is not None:
+                    sink, path = reached
+                    via = " -> ".join(
+                        part.rsplit(".", 1)[-1] for part in path
+                    )
+                    self.report(
+                        call,
+                        f"coroutine '{info.node.name}' calls "
+                        f"'{target.rsplit('.', 1)[-1]}', which reaches "
+                        f"blocking {sink} (via {via}) — route the call "
+                        "through run_in_executor/asyncio.to_thread",
+                    )
+
+
+def _reaches_blocking(
+    index: ProjectIndex,
+    qualname: str,
+    cache: dict,
+    stack: tuple[str, ...],
+) -> tuple[str, tuple[str, ...]] | None:
+    """Transitive sync-call search for a blocking sink; returns the
+    sink label and the call chain that reaches it."""
+    if qualname in cache:
+        return cache[qualname]
+    if qualname in stack:
+        return None
+    info = index.function(qualname)
+    if info is None or info.is_async:
+        return None
+    cache[qualname] = None  # cycle guard while this frame is live
+    result = None
+    for call in iter_own_calls(info.node):
+        sink = _blocking_sink(call, info.ctx, index)
+        if sink is not None:
+            result = (sink, (qualname,))
+            break
+        target = index.resolve_call(call, info.ctx, info.class_name)
+        if target is None or target == qualname:
+            continue
+        deeper = _reaches_blocking(
+            index, target, cache, stack + (qualname,)
+        )
+        if deeper is not None:
+            sink, path = deeper
+            result = (sink, (qualname,) + path)
+            break
+    cache[qualname] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# RPR602 — lock-order inversions
+# ----------------------------------------------------------------------
+def _lock_token(expr: ast.expr, class_name: str | None) -> str | None:
+    """Identity of a lock acquired by ``with expr:``, or ``None``."""
+    tail = trailing_identifier(expr)
+    if tail is None or "lock" not in tail.lower():
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+        and class_name is not None
+    ):
+        return f"{class_name}.{tail}"
+    return tail
+
+
+def _collect_lock_facts(info) -> tuple[list, list, list]:
+    """Per function: ``(pairs, acquires, calls_under_lock)`` where
+    pairs are (held, acquired, node), acquires are every lock token the
+    function takes, and calls_under_lock are (held, call) facts for the
+    one-level interprocedural step."""
+    pairs: list[tuple[str, str, ast.AST]] = []
+    acquires: list[str] = []
+    calls_under: list[tuple[str, ast.Call]] = []
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and node is not info.node:
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                token = _lock_token(item.context_expr, info.class_name)
+                if token is None:
+                    continue
+                for prior in inner:
+                    if prior != token:
+                        pairs.append((prior, token, item.context_expr))
+                acquires.append(token)
+                inner = inner + (token,)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, ast.Call) and held:
+            for token in held:
+                calls_under.append((token, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for child in info.node.body:
+        visit(child, ())
+    return pairs, acquires, calls_under
+
+
+def _lock_order_sites(index: ProjectIndex) -> dict:
+    """``(held, acquired) -> [(module, path, line, col)]`` across the
+    project, cached on the index (rules run once per module)."""
+    cached = getattr(index, "_rpr602_sites", None)
+    if cached is not None:
+        return cached
+
+    facts = {
+        qualname: _collect_lock_facts(info)
+        for qualname, info in index.functions.items()
+    }
+    sites: dict[tuple[str, str], list[tuple[str, str, int, int]]] = {}
+
+    def record(held: str, acquired: str, node: ast.AST, info) -> None:
+        sites.setdefault((held, acquired), []).append(
+            (
+                info.module,
+                info.ctx.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+            )
+        )
+
+    for qualname, info in index.functions.items():
+        pairs, _acquires, calls_under = facts[qualname]
+        for held, acquired, node in pairs:
+            record(held, acquired, node, info)
+        # one level of interprocedural depth: a call made under a lock
+        # acquires whatever the (resolved) callee acquires
+        for held, call in calls_under:
+            target = index.resolve_call(call, info.ctx, info.class_name)
+            if target is None or target == qualname:
+                continue
+            callee_facts = facts.get(target)
+            if callee_facts is None:
+                continue
+            for acquired in callee_facts[1]:
+                if acquired != held:
+                    record(held, acquired, call, info)
+
+    index._rpr602_sites = sites  # type: ignore[attr-defined]
+    return sites
+
+
+@register
+class LockOrderRule(Rule):
+    id = "RPR602"
+    name = "lock-order-inversion"
+    rationale = (
+        "Two locks acquired in opposite orders on two code paths can "
+        "deadlock the daemon (compute-lane lock vs _LockedTelemetry's "
+        "lock); the project must pick one global acquisition order."
+    )
+    project = True
+
+    def check_module(self, tree: ast.AST, project: ProjectIndex) -> None:
+        sites = _lock_order_sites(project)
+        reported: set[tuple[int, int, str, str]] = set()
+        for (held, acquired), locations in sorted(sites.items()):
+            reverse = sites.get((acquired, held))
+            if not reverse:
+                continue
+            other_path, other_line = reverse[0][1], reverse[0][2]
+            for module, _path, line, col in locations:
+                if module != self.ctx.module:
+                    continue
+                key = (line, col, held, acquired)
+                if key in reported:
+                    continue
+                reported.add(key)
+                self.report(
+                    _At(line, col),
+                    f"lock '{acquired}' acquired while holding "
+                    f"'{held}', but the opposite order exists at "
+                    f"{other_path}:{other_line} — pick one global "
+                    "acquisition order",
+                )
+
+
+class _At:
+    """Minimal location carrier for :meth:`Rule.report`."""
+
+    def __init__(self, lineno: int, col_offset: int):
+        self.lineno = lineno
+        self.col_offset = col_offset

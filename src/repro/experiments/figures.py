@@ -102,36 +102,35 @@ def run_fig1(config: ExperimentConfig, ks: Sequence[int] = (50, 100)) -> FigureR
             }
             for _ in range(config.fig1_simulations):
                 rng_s, rng_t = spawn(master, 2)
-                engine_s = create_engine(
+                # with-managed so neither engine's workers leak if the
+                # other's construction or an extend raises mid-figure
+                with create_engine(
                     config.engine,
                     graph,
                     seed=rng_s,
                     workers=config.workers,
                     kernel=config.kernel,
-                )
-                engine_t = create_engine(
+                ) as engine_s, create_engine(
                     config.engine,
                     graph,
                     seed=rng_t,
                     workers=config.workers,
                     kernel=config.kernel,
-                )
-                selection = CoverageInstance(graph.n)
-                validation = CoverageInstance(graph.n)
-                for length in sorted(config.fig1_lengths):
-                    engine_s.extend(selection, length)
-                    engine_t.extend(validation, length)
-                    cover = greedy_max_cover(selection, k)
-                    biased = cover.covered / selection.num_paths * pairs
-                    unbiased = (
-                        validation.covered_count(cover.group)
-                        / validation.num_paths
-                        * pairs
-                    )
-                    if biased > 0:
-                        betas[length].append(1.0 - unbiased / biased)
-                engine_s.close()
-                engine_t.close()
+                ) as engine_t:
+                    selection = CoverageInstance(graph.n)
+                    validation = CoverageInstance(graph.n)
+                    for length in sorted(config.fig1_lengths):
+                        engine_s.extend(selection, length)
+                        engine_t.extend(validation, length)
+                        cover = greedy_max_cover(selection, k)
+                        biased = cover.covered / selection.num_paths * pairs
+                        unbiased = (
+                            validation.covered_count(cover.group)
+                            / validation.num_paths
+                            * pairs
+                        )
+                        if biased > 0:
+                            betas[length].append(1.0 - unbiased / biased)
             for length in sorted(config.fig1_lengths):
                 values = betas[length]
                 if not values:

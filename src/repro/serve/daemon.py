@@ -86,9 +86,9 @@ class _LockedTelemetry(Telemetry):
     writers: the event loop (``serve.*`` counters and events) and the
     compute thread (algorithm spans, ``engine.*``/``session.*``
     counters).  Counter updates, event appends, and sink emission are
-    serialized; span aggregation stays compute-thread-only, and
-    :meth:`snapshot` is dispatched *to* the compute thread by the
-    server so it never races a live span."""
+    serialized; span aggregation stays compute-thread-only, and the
+    loop thread reads counters only through
+    :meth:`counters_snapshot`."""
 
     def __init__(self, sinks=()):
         super().__init__(sinks=sinks)
@@ -105,6 +105,13 @@ class _LockedTelemetry(Telemetry):
     def _emit(self, record: dict) -> None:
         with self._lock:
             super()._emit(record)
+
+    def counters_snapshot(self) -> dict:
+        """Point-in-time counter copy, safe against the compute thread
+        inserting new counter names mid-copy (a bare ``dict(counters)``
+        can raise ``RuntimeError: dictionary changed size``)."""
+        with self._lock:
+            return dict(self.counters)
 
 
 @dataclass
@@ -154,6 +161,14 @@ class GBCServer:
         self.cache = LRUCache(config.cache_size)
         self._inflight: dict[QueryKey, asyncio.Future] = {}
         self._lanes: dict[tuple[str, str, int], _Lane] = {}
+        # guards the *structure* the two threads share: the _lanes dict
+        # and the datasets mapping.  The compute thread holds it only
+        # for inserts/swaps/snapshots — never across a sampling run —
+        # so the loop thread's stats handler answers instantly instead
+        # of queueing behind a long compute.  Held without any other
+        # lock inside (the telemetry lock in particular), so no lock
+        # order can invert (RPR602).
+        self._lane_lock = threading.RLock()
         # per-dataset graph generation, bumped by every mutate op; new
         # query keys are stamped with it (loop-thread state)
         self._versions: dict[str, int] = dict.fromkeys(config.datasets, 0)
@@ -187,12 +202,16 @@ class GBCServer:
             **self._engine_kwargs,
         )
         lane_key = (key.dataset, key.algorithm, key.seed)
-        lane = self._lanes.get(lane_key)
+        with self._lane_lock:
+            lane = self._lanes.get(lane_key)
         if lane is None:
             # cold lane: consume the algorithm's RNG exactly as a fresh
-            # run would, so this answer is bit-identical to the CLI's
+            # run would, so this answer is bit-identical to the CLI's.
+            # Built outside the lock (it spawns workers); queries are
+            # serialized on this thread, so no double-build race.
             lane = _Lane(session=algorithm.build_session(graph))
-            self._lanes[lane_key] = lane
+            with self._lane_lock:
+                self._lanes[lane_key] = lane
         reused = lane.session.total_samples
         algorithm.session = lane.session
         lane.queries += 1
@@ -224,14 +243,17 @@ class GBCServer:
         touched = delta.apply(update)
         new_graph = delta.compact()
         invalidated = surviving = lanes_updated = 0
-        for (name, _algorithm, _seed), lane in sorted(self._lanes.items()):
+        with self._lane_lock:
+            lanes = sorted(self._lanes.items())
+        for (name, _algorithm, _seed), lane in lanes:
             if name != dataset:
                 continue
             stats = lane.session.migrate(new_graph, touched)
             invalidated += stats["invalidated"]
             surviving += stats["surviving"]
             lanes_updated += 1
-        self.config.datasets[dataset] = new_graph
+        with self._lane_lock:
+            self.config.datasets[dataset] = new_graph
         return {
             "dataset": dataset,
             "ops": int(update.num_ops),
@@ -250,7 +272,9 @@ class GBCServer:
         warm = Path(self.config.warm_dir)
         warm.mkdir(parents=True, exist_ok=True)
         written = 0
-        for (dataset, algorithm, seed), lane in sorted(self._lanes.items()):
+        with self._lane_lock:
+            lanes = sorted(self._lanes.items())
+        for (dataset, algorithm, seed), lane in lanes:
             path = warm / _lane_filename(dataset, algorithm, seed)
             lane.session.checkpoint(
                 str(path),
@@ -267,7 +291,8 @@ class GBCServer:
 
     def _close_lanes(self) -> None:
         """Release every lane's engines (workers, shm) — compute thread."""
-        lanes, self._lanes = self._lanes, {}
+        with self._lane_lock:
+            lanes, self._lanes = self._lanes, {}
         for lane in lanes.values():
             lane.session.close()
 
@@ -291,20 +316,24 @@ class GBCServer:
                         file=sys.stderr,
                     )
                     continue
+                # the full lane key must parse *before* resume spawns the
+                # session's workers: a malformed tag after resume would
+                # leak a live session and abort the whole startup
+                lane_key = (dataset, str(tag["algorithm"]), int(tag["seed"]))
                 session, _state = SamplingSession.resume(
                     str(path),
                     self.config.datasets[dataset],
                     telemetry=self.telemetry,
                     debug=self.config.debug,
                 )
-            except CheckpointError as exc:
+            except (CheckpointError, KeyError, TypeError, ValueError) as exc:
                 print(
-                    f"serve: skipping warm lane {path.name}: {exc}",
+                    f"serve: skipping warm lane {path.name}: {exc!r}",
                     file=sys.stderr,
                 )
                 continue
-            lane_key = (dataset, tag["algorithm"], int(tag["seed"]))
-            self._lanes[lane_key] = _Lane(session=session)
+            with self._lane_lock:
+                self._lanes[lane_key] = _Lane(session=session)
             thawed += 1
         return thawed
 
@@ -416,6 +445,17 @@ class GBCServer:
         return {"ok": True, "mutated": mutated}
 
     def _stats_payload(self) -> dict:
+        """Build the ``stats`` answer on the *loop* thread.
+
+        Everything else here is loop-owned (cache, versions, uptime);
+        the two structures the compute thread also writes — the lanes
+        dict and the datasets mapping — are snapshotted under the lane
+        lock, so stats never queues behind a long compute and never
+        iterates a dict mid-insert.  The telemetry copy happens outside
+        the lane lock (the two locks are never nested, by design)."""
+        with self._lane_lock:
+            lane_items = sorted(self._lanes.items())
+            dataset_items = sorted(self.config.datasets.items())
         lanes = [
             {
                 "dataset": dataset,
@@ -424,7 +464,7 @@ class GBCServer:
                 "samples": lane.session.total_samples,
                 "queries": lane.queries,
             }
-            for (dataset, algorithm, seed), lane in sorted(self._lanes.items())
+            for (dataset, algorithm, seed), lane in lane_items
         ]
         return {
             "ok": True,
@@ -438,7 +478,7 @@ class GBCServer:
                     "mmap": graph.mmap_source,
                     "version": self._versions.get(name, 0),
                 }
-                for name, graph in sorted(self.config.datasets.items())
+                for name, graph in dataset_items
             },
             "cache": {
                 "size": len(self.cache),
@@ -447,7 +487,7 @@ class GBCServer:
                 "misses": self.cache.misses,
             },
             "lanes": lanes,
-            "counters": dict(self.telemetry.counters),
+            "counters": self.telemetry.counters_snapshot(),
         }
 
     async def _dispatch(self, frame: dict) -> dict:
@@ -455,11 +495,10 @@ class GBCServer:
         if op == "ping":
             return {"ok": True, "pong": True, "version": _PROTOCOL_VERSION}
         if op == "stats":
-            # run on the compute thread so the span/lane state it reads
-            # is never mid-mutation
-            return await asyncio.get_running_loop().run_in_executor(
-                self._executor, self._stats_payload
-            )
+            # answered right here on the loop thread — the shared lane
+            # structures are read under the lane lock, so stats no
+            # longer queues behind whatever compute job is running
+            return self._stats_payload()
         if op == "query":
             key = parse_request(frame, self.config.datasets, self._versions)
             return await self._serve_query(key)
@@ -550,15 +589,17 @@ class GBCServer:
                 break
         if self.config.ready_file:
             # the smoke scripts poll this file to learn the ephemeral
-            # port and to know the listener is accepting
-            Path(self.config.ready_file).write_text(
-                json.dumps(
-                    {
-                        "endpoint": endpoint,
-                        "port": self.bound_port,
-                        "socket": self.config.socket_path,
-                    }
-                )
+            # port and to know the listener is accepting; written off
+            # the loop so a slow filesystem can't stall the listener
+            payload = json.dumps(
+                {
+                    "endpoint": endpoint,
+                    "port": self.bound_port,
+                    "socket": self.config.socket_path,
+                }
+            )
+            await asyncio.to_thread(
+                Path(self.config.ready_file).write_text, payload
             )
         print(
             f"serve: listening on {endpoint} "
@@ -587,7 +628,8 @@ class GBCServer:
         )
         await loop.run_in_executor(self._executor, self._close_lanes)
         self.telemetry.event("serve.drain", checkpoints=written)
-        self._executor.shutdown(wait=True)
+        # the blocking join of the compute thread happens off the loop
+        await asyncio.to_thread(partial(self._executor.shutdown, wait=True))
         self.telemetry.close()
         print(
             f"serve: drained ({written} warm lane(s) checkpointed)",

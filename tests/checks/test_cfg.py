@@ -1,0 +1,311 @@
+"""Structural tests for the CFG lowering (:mod:`repro.checks.cfg`)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.checks.cfg import (
+    EDGE_KINDS,
+    Op,
+    build_cfg,
+    can_raise,
+    op_can_raise,
+)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def kinds_between(cfg, src_label: str, dst_label: str) -> set[str]:
+    return {
+        kind
+        for src, dst, kind in cfg.edges()
+        if src.label == src_label and dst.label == dst_label
+    }
+
+
+def labels(cfg) -> list[str]:
+    return [block.label for block in cfg.blocks]
+
+
+def _reachable_from(cfg, label: str) -> set:
+    """Blocks reachable from the first block carrying ``label``
+    (following every edge kind), the block itself excluded."""
+    start = next(block for block in cfg.blocks if block.label == label)
+    seen: set = set()
+    stack = [dst for dst, _kind in start.succ]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(dst for dst, _kind in block.succ)
+    return seen
+
+
+class TestBasics:
+    def test_linear_function_reaches_exit(self):
+        cfg = cfg_of(
+            """
+            def f(a):
+                b = a + 1
+                return b
+            """
+        )
+        assert cfg.exit.pred, "no path reaches the exit"
+        assert all(kind in EDGE_KINDS for _, _, kind in cfg.edges())
+
+    def test_every_block_op_has_a_known_kind(self):
+        cfg = cfg_of(
+            """
+            def f(items, flag):
+                total = 0
+                for item in items:
+                    if flag:
+                        total += item
+                with open("log") as fh:
+                    fh.write(str(total))
+                return total
+            """
+        )
+        kinds = {op.kind for block in cfg.blocks for op in block.ops}
+        assert kinds <= {
+            "stmt", "test", "for-iter", "with-enter", "with-exit", "case",
+        }
+
+    def test_if_emits_true_and_false_edges(self):
+        cfg = cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    return 1
+                return 2
+            """
+        )
+        edge_kinds = {kind for _, _, kind in cfg.edges()}
+        assert {"true", "false", "return"} <= edge_kinds
+
+    def test_unreachable_code_has_blocks_but_no_in_edges(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        orphans = [
+            block
+            for block in cfg.blocks
+            if block.label == "unreachable"
+        ]
+        assert orphans and all(not block.pred for block in orphans)
+
+
+class TestLoops:
+    def test_while_has_loop_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n > 0:
+                    n -= 1
+                return n
+            """
+        )
+        back = [
+            (src, dst)
+            for src, dst, kind in cfg.edges()
+            if kind == "loop"
+        ]
+        assert len(back) == 1
+        assert back[0][1].label == "while-test"
+
+    def test_for_has_loop_back_edge_and_exit_branch(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                out = []
+                for item in items:
+                    out.append(item)
+                return out
+            """
+        )
+        assert any(kind == "loop" for _, _, kind in cfg.edges())
+        header = next(b for b in cfg.blocks if b.label == "for-iter")
+        assert {"true", "false"} <= {kind for _, kind in header.succ}
+
+    def test_break_and_continue_edges(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    if item < 0:
+                        continue
+                    if item > 9:
+                        break
+                return items
+            """
+        )
+        edge_kinds = {kind for _, _, kind in cfg.edges()}
+        assert {"break", "continue"} <= edge_kinds
+
+
+class TestTryFinally:
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(resource):
+                try:
+                    return resource.use()
+                finally:
+                    resource.close()
+            """
+        )
+        # the return statement's edge enters the finally region, and
+        # only the finally region's blocks reach the function exit
+        ret_block = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(op.node, ast.Return) for op in b.ops)
+        )
+        assert all(dst is not cfg.exit for dst, _ in ret_block.succ)
+        assert ("finally", "return") in {
+            (dst.label, kind) for dst, kind in ret_block.succ
+        }
+        return_preds = [
+            src for src, kind in cfg.exit.pred if kind == "return"
+        ]
+        assert return_preds
+        assert all(
+            src in _reachable_from(cfg, "finally") for src in return_preds
+        )
+
+    def test_finally_terminal_resumes_inflight_exception(self):
+        cfg = cfg_of(
+            """
+            def f(resource):
+                try:
+                    resource.use()
+                finally:
+                    resource.close()
+            """
+        )
+        # the try body's exception enters the finally region...
+        into_finally = [
+            (src, dst)
+            for src, dst, kind in cfg.edges()
+            if kind == "except" and dst.label == "finally"
+        ]
+        assert into_finally, "the exception must route through finally"
+        # ...and continues from inside it to the raise exit
+        region = _reachable_from(cfg, "finally")
+        assert any(src in region for src, _kind in cfg.raise_exit.pred)
+
+    def test_bare_except_swallows_the_exception_path(self):
+        cfg = cfg_of(
+            """
+            def f(resource):
+                try:
+                    resource.use()
+                except Exception:
+                    pass
+                return 1
+            """
+        )
+        # an except-Exception handler means the dispatch block needs no
+        # "unhandled" fall-through to the raise exit
+        dispatch = next(
+            b for b in cfg.blocks if b.label == "except-dispatch"
+        )
+        assert all(dst is not cfg.raise_exit for dst, _ in dispatch.succ)
+
+    def test_narrow_except_keeps_unhandled_path(self):
+        cfg = cfg_of(
+            """
+            def f(resource):
+                try:
+                    resource.use()
+                except KeyError:
+                    pass
+                return 1
+            """
+        )
+        dispatch = next(
+            b for b in cfg.blocks if b.label == "except-dispatch"
+        )
+        assert any(dst is cfg.raise_exit for dst, _ in dispatch.succ)
+
+
+class TestWith:
+    def test_async_with_lowers_enter_and_exit_ops(self):
+        cfg = cfg_of(
+            """
+            async def f(lock, work):
+                async with lock:
+                    await work()
+                return 1
+            """
+        )
+        kinds = {op.kind for block in cfg.blocks for op in block.ops}
+        assert {"with-enter", "with-exit"} <= kinds
+        enter = next(b for b in cfg.blocks if b.label == "with-enter")
+        # __aenter__ is awaited, so the enter op carries an except edge
+        assert any(kind == "except" for _, kind in enter.succ)
+
+    def test_plain_lock_enter_has_no_exception_edge(self):
+        """A body-only call must not leak an except edge onto the
+        with-enter header (the precision fix behind the daemon's
+        ``with self._lane_lock:`` pattern)."""
+        cfg = cfg_of(
+            """
+            def f(lock, build):
+                with lock:
+                    build()
+                return 1
+            """
+        )
+        enter = next(b for b in cfg.blocks if b.label == "with-enter")
+        assert all(kind != "except" for _, kind in enter.succ)
+        body = [
+            b
+            for b in cfg.blocks
+            if any(op.kind == "stmt" for op in b.ops)
+            and any(kind == "except" for _, kind in b.succ)
+        ]
+        assert body, "the raising body statement keeps its edge"
+
+
+class TestCanRaise:
+    def test_calls_raise_appends_do_not(self):
+        call = ast.parse("f(x)").body[0]
+        append = ast.parse("items.append(x)").body[0]
+        plain = ast.parse("a = b + 1").body[0]
+        assert can_raise(call)
+        assert not can_raise(append)
+        assert not can_raise(plain)
+
+    def test_header_ops_scope_to_what_they_evaluate(self):
+        loop = ast.parse(
+            textwrap.dedent(
+                """
+                while flag:
+                    work()
+                """
+            )
+        ).body[0]
+        assert not op_can_raise(Op("test", loop))
+        risky = ast.parse("while check():\n    pass").body[0]
+        assert op_can_raise(Op("test", risky))
+
+    def test_for_iter_scopes_to_the_iterator(self):
+        quiet = ast.parse("for x in items:\n    work()").body[0]
+        loud = ast.parse("for x in fetch():\n    pass").body[0]
+        assert not op_can_raise(Op("for-iter", quiet))
+        assert op_can_raise(Op("for-iter", loud))

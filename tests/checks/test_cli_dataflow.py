@@ -1,0 +1,108 @@
+"""CLI surface added with the dataflow tier: ``--rules`` selection and
+the ``--changed-only`` fast lane."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.checks.cli import changed_files, main, select_rules
+from repro.exceptions import ParameterError
+
+
+class TestRuleSelection:
+    def test_exact_id_selects_one_rule(self):
+        selected = select_rules("RPR501")
+        assert [cls.id for cls in selected] == ["RPR501"]
+
+    def test_prefix_selects_a_family(self):
+        selected = select_rules("RPR5")
+        ids = [cls.id for cls in selected]
+        assert ids and all(rule_id.startswith("RPR5") for rule_id in ids)
+        assert len(ids) >= 3
+
+    def test_comma_list_deduplicates(self):
+        selected = select_rules("RPR501,RPR5")
+        ids = [cls.id for cls in selected]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ParameterError, match="matches no rule"):
+            select_rules("RPR999")
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ParameterError, match="empty selector"):
+            select_rules(" , ")
+
+    def test_unknown_selector_exits_2(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["--rules", "RPR999", str(tmp_path)]) == 2
+        assert "matches no rule" in capsys.readouterr().err
+
+    def test_selected_family_runs_alone(self, tmp_path, capsys):
+        # RPR101 material (a clock read) that the lifecycle family ignores
+        (tmp_path / "mod.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert main(["--rules", "RPR5", str(tmp_path)]) == 0
+        assert main(["--rules", "RPR101", str(tmp_path)]) == 1
+
+
+def _git(*args, cwd):
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    _git("init", "-q", cwd=tmp_path)
+    _git("config", "user.email", "dev@example.invalid", cwd=tmp_path)
+    _git("config", "user.name", "dev", cwd=tmp_path)
+    (tmp_path / "a.py").write_text("a = 1\n")
+    (tmp_path / "untouched.py").write_text("same = 1\n")
+    _git("add", ".", cwd=tmp_path)
+    _git("commit", "-q", "-m", "seed", cwd=tmp_path)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedOnly:
+    def test_modified_and_untracked_files_are_selected(self, git_repo):
+        (git_repo / "a.py").write_text("a = 2\n")
+        (git_repo / "b.py").write_text("b = 1\n")
+        (git_repo / "notes.txt").write_text("not python\n")
+        selected = changed_files("HEAD", [str(git_repo)])
+        assert [path.name for path in selected] == ["a.py", "b.py"]
+
+    def test_clean_tree_selects_nothing(self, git_repo):
+        assert changed_files("HEAD", [str(git_repo)]) == []
+
+    def test_selection_intersects_requested_paths(self, git_repo):
+        sub = git_repo / "pkg"
+        sub.mkdir()
+        (sub / "inner.py").write_text("inner = 1\n")
+        (git_repo / "outer.py").write_text("outer = 1\n")
+        selected = changed_files("HEAD", [str(sub)])
+        assert [path.name for path in selected] == ["inner.py"]
+
+    def test_missing_ref_falls_back_to_head(self, git_repo):
+        (git_repo / "b.py").write_text("b = 1\n")
+        # no origin/main or main in this repo; HEAD fallback applies
+        selected = changed_files("no-such-branch", [str(git_repo)])
+        assert [path.name for path in selected] == ["b.py"]
+
+    def test_cli_exit_codes(self, git_repo, capsys):
+        assert main(["--changed-only", "HEAD", str(git_repo)]) == 0
+        (git_repo / "bad.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert main(["--changed-only", "HEAD", str(git_repo)]) == 1
+        capsys.readouterr()
+
+    def test_outside_a_repo_exits_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        assert main(["--changed-only", "HEAD", str(tmp_path)]) == 2
+        assert "--changed-only" in capsys.readouterr().err

@@ -1,0 +1,171 @@
+"""The worklist solver: fixpoints, exception states, termination."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.checks.cfg import build_cfg
+from repro.checks.dataflow import Analysis, FixpointError, solve
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+class _Assigned(Analysis):
+    """May-analysis over the set of names ever assigned."""
+
+    def initial(self):
+        return frozenset()
+
+    def copy(self, state):
+        return state
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, op, state):
+        node = op.node
+        if op.kind == "stmt" and isinstance(node, ast.Assign):
+            names = frozenset(
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            )
+            return state | names
+        if op.kind == "for-iter" and isinstance(node.target, ast.Name):
+            return state | {node.target.id}
+        return state
+
+
+class _Diverging(Analysis):
+    """A deliberately unbounded lattice: every join strictly grows, so
+    a loop never converges and the solver must trip its pass budget."""
+
+    def initial(self):
+        return 0
+
+    def copy(self, state):
+        return state
+
+    def join(self, left, right):
+        return max(left, right) + 1
+
+    def transfer(self, op, state):
+        return state
+
+
+class TestFixpoint:
+    def test_loop_converges_to_a_fixpoint(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                total = 0
+                for item in items:
+                    partial = total + item
+                    total = partial
+                return total
+            """
+        )
+        states = solve(cfg, _Assigned())
+        exit_in = max(
+            (
+                states[pred.index][1]
+                for pred, kind in cfg.exit.pred
+                if states.get(pred.index) is not None
+            ),
+            key=len,
+        )
+        assert exit_in == frozenset({"total", "item", "partial"})
+
+    def test_branch_states_join(self):
+        cfg = cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    b = 2
+                return 0
+            """
+        )
+        states = solve(cfg, _Assigned())
+        merged = frozenset().union(
+            *(
+                states[pred.index][1]
+                for pred, _ in cfg.exit.pred
+                if states.get(pred.index)
+            )
+        )
+        assert {"a", "b"} <= merged
+
+    def test_unreachable_blocks_are_absent(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        states = solve(cfg, _Assigned())
+        dead = [b for b in cfg.blocks if b.label == "unreachable"]
+        assert dead
+        assert all(b.index not in states for b in dead)
+
+
+class TestExceptionStates:
+    def test_except_edge_observes_the_pre_state(self):
+        """Default ``transfer_exception``: nothing the raising op would
+        have done is visible on its exceptional edge."""
+        cfg = cfg_of(
+            """
+            def f():
+                a = build()
+                b = build()
+                return a, b
+            """
+        )
+        states = solve(cfg, _Assigned())
+        second = next(
+            block
+            for block in cfg.blocks
+            if any(
+                isinstance(op.node, ast.Assign)
+                and op.node.targets[0].id == "b"
+                for op in block.ops
+            )
+        )
+        _in, out, exc = states[second.index]
+        assert "b" in out
+        assert exc == frozenset({"a"})
+
+
+class TestTermination:
+    def test_non_converging_analysis_raises_fixpoint_error(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        with pytest.raises(FixpointError) as excinfo:
+            solve(cfg, _Diverging(), max_passes=16)
+        assert "did not converge" in str(excinfo.value)
+
+    def test_budget_is_per_block_not_global(self):
+        """Many blocks visited once each must not trip the budget."""
+        body = "\n".join(f"    x{i} = {i}" for i in range(64))
+        cfg = cfg_of(f"def f():\n{body}\n    return x0")
+        states = solve(cfg, _Assigned(), max_passes=1)
+        assert any(len(s[1] or ()) == 64 for s in states.values())

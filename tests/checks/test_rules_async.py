@@ -1,0 +1,207 @@
+"""Fixture snippets for the event-loop hygiene rules (RPR601/602)."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def check(findings_for, source, module="repro.serve.daemon"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+def rule_ids_of(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestBlockingCall:
+    def test_triggers_on_direct_blocking_sink(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import time
+
+            async def handler(frame):
+                time.sleep(0.5)
+                return frame
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR601"]
+        assert "time.sleep" in findings[0].message
+
+    def test_triggers_on_transitive_sync_path(self, findings_for):
+        """The sink is two sync hops away; the message names the path."""
+        findings = check(
+            findings_for,
+            """
+            import time
+
+            def _backoff():
+                time.sleep(0.1)
+
+            def _retry():
+                _backoff()
+
+            async def handler(frame):
+                _retry()
+                return frame
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR601"]
+        assert "_retry" in findings[0].message
+        assert "_backoff" in findings[0].message
+
+    def test_triggers_on_compute_method_receiver(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            async def answer(engine, n):
+                engine.extend(n)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR601"]
+        assert "engine.extend" in findings[0].message
+
+    def test_passes_when_routed_through_to_thread(self, findings_for):
+        """A reference handed to to_thread is not a call."""
+        findings = check(
+            findings_for,
+            """
+            import asyncio
+            import time
+
+            async def handler(frame):
+                await asyncio.to_thread(time.sleep, 0.5)
+                return frame
+            """,
+        )
+        assert findings == []
+
+    def test_passes_when_routed_through_run_in_executor(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import asyncio
+            from functools import partial
+
+            def _compute(key):
+                return key
+
+            async def handler(executor, key):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    executor, partial(_compute, key)
+                )
+            """,
+        )
+        assert findings == []
+
+    def test_awaited_coroutines_defer_to_their_own_check(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            async def _inner(frame):
+                return frame
+
+            async def handler(frame):
+                return await _inner(frame)
+            """,
+        )
+        assert findings == []
+
+    def test_sync_functions_may_block_freely(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import time
+
+            def warmup():
+                time.sleep(1.0)
+            """,
+        )
+        assert findings == []
+
+
+class TestLockOrder:
+    def test_triggers_on_lexical_inversion(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            class Hub:
+                def forward(self):
+                    with self._cache_lock:
+                        with self._emit_lock:
+                            pass
+
+                def backward(self):
+                    with self._emit_lock:
+                        with self._cache_lock:
+                            pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR602"]
+        assert len(findings) == 2  # both sides of the inversion
+        assert "Hub._cache_lock" in findings[0].message
+
+    def test_triggers_through_one_call_level(self, findings_for):
+        """Holding A while calling a helper that takes B, with the
+        B-then-A order elsewhere, is the daemon deadlock shape."""
+        findings = check(
+            findings_for,
+            """
+            class Hub:
+                def _emit(self):
+                    with self._emit_lock:
+                        pass
+
+                def forward(self):
+                    with self._cache_lock:
+                        self._emit()
+
+                def backward(self):
+                    with self._emit_lock:
+                        with self._cache_lock:
+                            pass
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR602"]
+
+    def test_passes_on_consistent_global_order(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            class Hub:
+                def forward(self):
+                    with self._cache_lock:
+                        with self._emit_lock:
+                            pass
+
+                def also_forward(self):
+                    with self._cache_lock:
+                        with self._emit_lock:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_distinct_classes_keep_distinct_lock_identities(
+        self, findings_for
+    ):
+        """Two classes' private ``_lock`` attributes are not the same
+        lock; opposite nesting across classes is not an inversion."""
+        findings = check(
+            findings_for,
+            """
+            class A:
+                def go(self):
+                    with self._lock:
+                        with self.shared_lock:
+                            pass
+
+            class B:
+                def go(self):
+                    with self.shared_lock:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert findings == []

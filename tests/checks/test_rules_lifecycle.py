@@ -1,0 +1,252 @@
+"""Fixture snippets for the resource-lifecycle rules (RPR501-503)."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def check(findings_for, source, module="repro.engine.shm"):
+    return findings_for(textwrap.dedent(source), module=module)
+
+
+def rule_ids_of(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestNormalPathLeak:
+    def test_triggers_on_unreleased_owner_segment(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak(size):
+                shm = SharedMemory(create=True, size=size)
+                return shm.size
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR501"]
+        assert "'shm'" in findings[0].message
+        assert "close" in findings[0].message
+
+    def test_passes_when_fully_released(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ok(size):
+                shm = SharedMemory(create=True, size=size)
+                shm.close()
+                shm.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_triggers_on_partial_release(self, findings_for):
+        """An owner that closes but never unlinks still leaks the
+        segment in /dev/shm."""
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def partial(size):
+                shm = SharedMemory(create=True, size=size)
+                shm.close()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR501"]
+        assert "unlink" in findings[0].message
+
+    def test_mkstemp_descriptor_released_through_os_close(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            import os
+            import tempfile
+
+            def ok():
+                fd, path = tempfile.mkstemp()
+                os.close(fd)
+                return path
+
+            def leak():
+                fd, path = tempfile.mkstemp()
+                return path
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR501"]
+        assert "'fd'" in findings[0].message
+
+    def test_bare_drop_is_flagged_at_the_expression(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fire_and_forget():
+                ProcessPoolExecutor(max_workers=2)
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR501"]
+        assert "immediately" in findings[0].message
+
+    def test_with_managed_resources_are_never_tracked(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            def managed(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+        )
+        assert findings == []
+
+    def test_ownership_transfer_goes_silent(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing import Process
+
+            def handoff(registry, target):
+                proc = Process(target=target)
+                proc.start()
+                registry.adopt(proc)
+            """,
+        )
+        assert findings == []
+
+    def test_unstarted_process_carries_no_obligation(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing import Process
+
+            def prepared(target):
+                proc = Process(target=target)
+                del proc
+            """,
+        )
+        assert findings == []
+
+
+class TestExceptionEdgeLeak:
+    def test_triggers_on_raise_between_acquire_and_release(self, findings_for):
+        """The EpochEngine._reap_on_error bug class: a validation call
+        between acquisition and publication leaks on its raise."""
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def risky(layout, size):
+                shm = SharedMemory(create=True, size=size)
+                layout.validate(shm.size)
+                shm.close()
+                shm.unlink()
+            """,
+        )
+        assert rule_ids_of(findings) == ["RPR502"]
+        assert "leaks when the exception" in findings[0].message
+
+    def test_passes_when_released_in_finally(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def safe(layout, size):
+                shm = SharedMemory(create=True, size=size)
+                try:
+                    layout.validate(shm.size)
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_passes_when_closed_in_except_before_reraise(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def guarded(warmup):
+                pool = ProcessPoolExecutor(max_workers=2)
+                try:
+                    warmup(pool)
+                except Exception:
+                    pool.shutdown()
+                    raise
+                return pool
+            """,
+        )
+        assert findings == []
+
+    def test_acquisitions_do_not_leak_through_their_own_raise(
+        self, findings_for
+    ):
+        """A constructor that raised acquired nothing."""
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def only_acquire(size):
+                shm = SharedMemory(create=True, size=size)
+                shm.close()
+                shm.unlink()
+            """,
+        )
+        assert findings == []
+
+
+class TestAttacherUnlink:
+    def test_triggers_on_attacher_unlink(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                shm.unlink()
+                shm.close()
+            """,
+        )
+        assert "RPR503" in rule_ids_of(findings)
+        assert "attachers must only" in " ".join(
+            f.message for f in findings if f.rule == "RPR503"
+        )
+
+    def test_passes_for_the_owner(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def own(size):
+                shm = SharedMemory(create=True, size=size)
+                shm.unlink()
+                shm.close()
+            """,
+        )
+        assert findings == []
+
+    def test_attacher_close_only_is_clean(self, findings_for):
+        findings = check(
+            findings_for,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+            """,
+        )
+        assert findings == []

@@ -364,3 +364,82 @@ class TestSigterm:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+class TestLoopThreadStats:
+    def test_stats_and_ping_answer_while_compute_is_busy(self, ba60):
+        """Regression: stats/ping are loop-thread reads and must not
+        queue behind a long sampling run on the compute thread."""
+        daemon = _Harness(_config(ba60))
+        with daemon:
+            server = daemon.server
+            gate = threading.Event()
+            entered = threading.Event()
+            original = server._compute
+
+            def gated(key):
+                entered.set()
+                assert gate.wait(timeout=60), "test gate never opened"
+                return original(key)
+
+            server._compute = gated
+            answer: list[dict] = []
+
+            def ask():
+                with daemon.client() as client:
+                    answer.append(
+                        client.query("ba", k=2, eps=0.6, gamma=0.1, seed=11)
+                    )
+
+            worker = threading.Thread(target=ask)
+            worker.start()
+            try:
+                assert entered.wait(timeout=60)
+                # the compute thread is parked on the gate; control ops
+                # must still answer promptly on the loop thread
+                started = time.monotonic()
+                with daemon.client() as control:
+                    assert control.ping()["pong"] is True
+                    stats = control.stats()
+                elapsed = time.monotonic() - started
+                assert stats["ok"] is True
+                assert stats["datasets"]["ba"]["n"] == 60
+                assert elapsed < 10, (
+                    f"stats/ping took {elapsed:.1f}s — queued behind compute"
+                )
+                assert not gate.is_set()  # the query is still in flight
+            finally:
+                gate.set()
+                worker.join(timeout=120)
+            assert not worker.is_alive()
+            assert answer and answer[0]["ok"] is True
+
+
+class TestThawRobustness:
+    def test_thaw_skips_malformed_tag_checkpoints(self, ba60, tmp_path, capfd):
+        """A warm checkpoint whose serve tag is missing keys is skipped
+        with a warning before any session is resumed — startup survives
+        and the daemon serves cold."""
+        warm = tmp_path / "warm"
+        warm.mkdir()
+        algorithm = build_algorithm(
+            QueryKey("ba", "adaalg", 1, 0.6, 0.1, 5), engine="serial"
+        )
+        session = algorithm.build_session(ba60)
+        try:
+            # dataset present, algorithm/seed keys missing
+            session.checkpoint(
+                str(warm / "ba__adaalg__5.warm.npz"),
+                state={"serve": {"dataset": "ba"}},
+            )
+        finally:
+            session.close()
+        with _Harness(_config(ba60, warm_dir=str(warm))) as daemon:
+            assert not daemon.server._lanes  # nothing thawed
+            with daemon.client() as client:
+                answer = client.query("ba", k=1, eps=0.6, gamma=0.1, seed=5)
+            assert answer["ok"] is True
+            assert answer["served"]["samples_reused"] == 0
+        err = capfd.readouterr().err
+        assert "skipping warm lane" in err
+        assert "KeyError" in err

@@ -158,6 +158,32 @@ class TestValidation:
         with pytest.raises(CheckpointError):
             _FACTORIES["adaalg"](resume_from=path).run(graph, 4)
 
+    def test_failed_resume_validation_closes_the_session(
+        self, graph, tmp_path, monkeypatch
+    ):
+        """Regression: a resumed session that fails tag validation must
+        be closed before the error propagates, or its engines (workers,
+        shared memory) outlive the failed run."""
+        from repro.session import SamplingSession
+
+        path = str(tmp_path / "ck.npz")
+        with pytest.raises(SessionInterrupted):
+            _FACTORIES["adaalg"](
+                checkpoint_path=path, stop_after_checkpoints=1
+            ).run(graph, 3)
+
+        closed = []
+        original_close = SamplingSession.close
+
+        def recording_close(self):
+            closed.append(self)
+            return original_close(self)
+
+        monkeypatch.setattr(SamplingSession, "close", recording_close)
+        with pytest.raises(CheckpointError):
+            _FACTORIES["hedge"](resume_from=path).run(graph, 3)
+        assert len(closed) == 1
+
     def test_stop_requires_checkpoint_path(self):
         with pytest.raises(ParameterError):
             AdaAlg(seed=0, stop_after_checkpoints=1)
